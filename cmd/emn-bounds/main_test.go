@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EMN bootstrap in -short mode")
+	}
+	if err := run([]string{"-iters", "3", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EMN bootstrap in -short mode")
+	}
+	if err := run([]string{"-iters", "2", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunTinyCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EMN campaign in -short mode")
+	}
+	err := run([]string{"-n", "3", "-algos", "most-likely,oracle", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadAlgorithm(t *testing.T) {
+	if err := run([]string{"-n", "1", "-algos", "deep-blue"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, ,b,")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Command recoverd serves recovery controllers over HTTP: the deployable
+// form of the bounded-POMDP framework. At startup it loads a recovery
+// model, verifies the paper's conditions, computes the RA-Bound, optionally
+// bootstraps it (or loads a previously saved bound set), and then serves
+// the episode API of internal/server.
+//
+// Usage:
+//
+//	recoverd -addr :7947 -model emn -bootstrap 10
+//	recoverd -model my-system.json -top 3600 -bounds bounds.json
+//
+// A typical monitor-integration loop:
+//
+//	id=$(curl -s -X POST localhost:7947/v1/episodes | jq .episodeId)
+//	curl -s localhost:7947/v1/episodes/$id/decision
+//	curl -s -X POST localhost:7947/v1/episodes/$id/observations \
+//	     -d '{"actionName":"observe","observationName":"obs:HPathMon"}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/emn"
+	"bpomdp/internal/modelload"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "recoverd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("recoverd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":7947", "listen address")
+		modelName   = fs.String("model", "emn", `model: "emn", "twoserver", or a path to a model JSON`)
+		top         = fs.Float64("top", emn.OperatorResponseTime, "operator response time t_op in seconds")
+		bootstrap   = fs.Int("bootstrap", 10, "bootstrap episodes before serving")
+		bootDepth   = fs.Int("bootstrap-depth", 2, "tree depth during bootstrap")
+		depth       = fs.Int("depth", 1, "online tree depth")
+		improve     = fs.Bool("improve-online", true, "keep improving the bound during real recovery")
+		seed        = fs.Uint64("seed", 1, "bootstrap RNG seed")
+		boundsPath  = fs.String("bounds", "", "load the bound set from this JSON file if it exists, and save it back after bootstrap")
+		maxEpisodes = fs.Int("max-episodes", 0, "cap on concurrently open episodes (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rm, err := modelload.Load(*modelName)
+	if err != nil {
+		return err
+	}
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: *top})
+	if err != nil {
+		return err
+	}
+	log.Printf("model %q: %d states, %d actions, %d observations; regime %s",
+		*modelName, prep.Model.NumStates(), prep.Model.NumActions(), prep.Model.NumObservations(), prep.Regime)
+
+	loaded := false
+	if *boundsPath != "" {
+		if data, err := os.ReadFile(*boundsPath); err == nil {
+			if err := json.Unmarshal(data, prep.Set); err != nil {
+				return fmt.Errorf("load bounds %s: %w", *boundsPath, err)
+			}
+			if prep.Set.NumStates() != prep.Model.NumStates() {
+				return fmt.Errorf("bounds %s are over %d states, model has %d",
+					*boundsPath, prep.Set.NumStates(), prep.Model.NumStates())
+			}
+			log.Printf("loaded %d bound vectors from %s", prep.Set.Size(), *boundsPath)
+			loaded = true
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	if !loaded && *bootstrap > 0 {
+		start := time.Now()
+		stats, err := prep.Bootstrap(*bootstrap, controller.VariantAverage, *bootDepth, rng.New(*seed))
+		if err != nil {
+			return err
+		}
+		last := stats[len(stats)-1]
+		log.Printf("bootstrapped %d episodes in %v: bound at uniform %.2f, %d vectors",
+			*bootstrap, time.Since(start).Round(time.Millisecond), last.BoundAtUniform, last.Vectors)
+		if *boundsPath != "" {
+			data, err := json.Marshal(prep.Set)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*boundsPath, data, 0o644); err != nil {
+				return err
+			}
+			log.Printf("saved bound set to %s", *boundsPath)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Model:       prep.Model,
+		MaxEpisodes: *maxEpisodes,
+		NewController: func() (controller.Controller, pomdp.Belief, error) {
+			ctrl, err := prep.NewController(core.ControllerConfig{Depth: *depth, ImproveOnline: *improve})
+			if err != nil {
+				return nil, nil, err
+			}
+			initial, err := prep.InitialBelief()
+			return ctrl, initial, err
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bpomdp/internal/bounds"
+)
+
+// cancelledCtx returns an already-cancelled context so run() takes the
+// graceful-shutdown path immediately after setup.
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestRunBootstrapsAndSavesBounds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bounds.json")
+	err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0",
+		"-model", "twoserver",
+		"-top", "10",
+		"-bootstrap", "3",
+		"-bootstrap-depth", "1",
+		"-bounds", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bounds not saved: %v", err)
+	}
+	var set bounds.Set
+	if err := json.Unmarshal(data, &set); err != nil {
+		t.Fatal(err)
+	}
+	if set.NumStates() != 4 || set.Size() < 1 {
+		t.Errorf("saved set: %d states, %d planes", set.NumStates(), set.Size())
+	}
+
+	// Second run loads the saved set instead of bootstrapping.
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "0", "-bounds", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(cancelledCtx(), []string{"-bogus-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(cancelledCtx(), []string{"-model", "/no/such.json"}); err == nil {
+		t.Error("missing model accepted")
+	}
+	if err := run(cancelledCtx(), []string{"-model", "twoserver", "-top", "-5"}); err == nil {
+		t.Error("negative t_op accepted")
+	}
+}
+
+func TestRunRejectsMismatchedBounds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bounds.json")
+	if err := os.WriteFile(path, []byte(`{"states":2,"planes":[[0,0]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10", "-bounds", path,
+	})
+	if err == nil {
+		t.Error("mismatched bound dimensions accepted")
+	}
+}

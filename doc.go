@@ -1,0 +1,24 @@
+// Package bpomdp is a from-scratch Go implementation of "Automatic Recovery
+// Using Bounded Partially Observable Markov Decision Processes" (Joshi,
+// Hiltunen, Sanders, Schlichting — DSN 2006): model-based automatic recovery
+// for distributed systems whose monitors give imprecise, probabilistic fault
+// information.
+//
+// The root package is a thin facade over the implementation packages; see
+// the README for the architecture and the examples directory for runnable
+// walkthroughs:
+//
+//   - internal/pomdp — POMDPs, beliefs, Bayes updates, the belief-MDP
+//     operator L_p, and the Section 3.1 convergence transforms;
+//   - internal/bounds — the RA-Bound with its undiscounted convergence
+//     machinery, the BI-POMDP/blind-policy comparison bounds, incremental
+//     improvement, and a QMDP upper bound;
+//   - internal/controller — the bounded online controller, the paper's
+//     baselines, and the bootstrapping phase;
+//   - internal/core — the recovery framework (Conditions 1 & 2, regimes,
+//     model → bound → bootstrap → controller pipeline);
+//   - internal/arch and internal/emn — the declarative system-model
+//     compiler and the paper's EMN e-commerce deployment;
+//   - internal/sim and internal/experiments — the fault-injection
+//     simulator and the harnesses regenerating Table 1 and Figure 5.
+package bpomdp

@@ -1,0 +1,154 @@
+// Custom system: model your own architecture with the declarative builder.
+//
+// This example builds a system the paper never saw — a content-delivery
+// stack with a load balancer, three web servers behind it (unequal
+// weights), a cache, and a database on separate hosts — compiles it into a
+// recovery POMDP, and compares the bounded controller against the
+// most-likely baseline on a small fault-injection campaign.
+//
+// It demonstrates that nothing in the framework is EMN-specific: describe
+// hosts, components, request paths and monitors, and the compiler derives
+// states, actions, observation probabilities and reward structure.
+//
+// Run with:
+//
+//	go run ./examples/custom-system
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bpomdp/internal/arch"
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/sim"
+	"bpomdp/internal/stats"
+)
+
+func webFarm() *arch.System {
+	return &arch.System{
+		Name: "web-farm",
+		Hosts: []arch.Host{
+			{Name: "edge", RebootDuration: 180},
+			{Name: "web", RebootDuration: 240},
+			{Name: "data", RebootDuration: 300},
+		},
+		Components: []arch.Component{
+			{Name: "lb", Host: "edge", RestartDuration: 30},
+			{Name: "web1", Host: "web", RestartDuration: 45},
+			{Name: "web2", Host: "web", RestartDuration: 45},
+			{Name: "web3", Host: "web", RestartDuration: 45},
+			{Name: "cache", Host: "data", RestartDuration: 20},
+			{Name: "db", Host: "data", RestartDuration: 200},
+		},
+		Paths: []arch.Path{
+			{
+				// Cache hits: 70% of requests stop at the cache.
+				Name:         "cached",
+				TrafficShare: 0.7,
+				Stages: []arch.Stage{
+					{{Component: "lb", Weight: 1}},
+					{{Component: "web1", Weight: 2}, {Component: "web2", Weight: 1}, {Component: "web3", Weight: 1}},
+					{{Component: "cache", Weight: 1}},
+				},
+			},
+			{
+				// Cache misses continue to the database.
+				Name:         "uncached",
+				TrafficShare: 0.3,
+				Stages: []arch.Stage{
+					{{Component: "lb", Weight: 1}},
+					{{Component: "web1", Weight: 2}, {Component: "web2", Weight: 1}, {Component: "web3", Weight: 1}},
+					{{Component: "cache", Weight: 1}},
+					{{Component: "db", Weight: 1}},
+				},
+			},
+		},
+		ComponentMonitors: []arch.ComponentMonitor{
+			{Name: "lbMon", Target: "lb"},
+			{Name: "w1Mon", Target: "web1"},
+			{Name: "w2Mon", Target: "web2"},
+			{Name: "w3Mon", Target: "web3"},
+			{Name: "cacheMon", Target: "cache"},
+			{Name: "dbMon", Target: "db"},
+		},
+		PathMonitors: []arch.PathMonitor{
+			{Name: "cachedProbe", Path: "cached"},
+			{Name: "uncachedProbe", Path: "uncached"},
+		},
+		MonitorDuration: 2,
+		MonitorCost:     1,
+		CrashFaults:     true,
+		ZombieFaults:    true,
+		HostFaults:      true,
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "custom-system:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	compiled, err := webFarm().Compile()
+	if err != nil {
+		return err
+	}
+	rm := compiled.Recovery
+	fmt.Printf("compiled %q: %d states, %d actions, %d observations\n",
+		"web-farm", rm.POMDP.NumStates(), rm.POMDP.NumActions(), rm.POMDP.NumObservations())
+
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 3600})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("regime: %s; RA-Bound computed over %d states\n\n", prep.Regime, len(prep.RA))
+	if _, err := prep.Bootstrap(10, controller.VariantAverage, 2, rng.New(1)); err != nil {
+		return err
+	}
+
+	bounded, err := prep.NewController(core.ControllerConfig{Depth: 1, ImproveOnline: true})
+	if err != nil {
+		return err
+	}
+	boundedInit, err := prep.InitialBelief()
+	if err != nil {
+		return err
+	}
+	ml, err := controller.NewMostLikely(rm.POMDP, controller.MostLikelyConfig{
+		NullStates:             rm.NullStates,
+		TerminationProbability: 0.9999,
+	})
+	if err != nil {
+		return err
+	}
+
+	runner, err := sim.NewRunner(rm, 1000)
+	if err != nil {
+		return err
+	}
+	// Inject zombie faults — the hardest class to localize.
+	const episodes = 100
+	table := stats.NewTable(sim.TableHeaders()...)
+	for _, entry := range []struct {
+		ctrl    controller.Controller
+		initial pomdp.Belief
+	}{
+		{bounded, boundedInit},
+		{ml, pomdp.UniformBelief(rm.POMDP.NumStates())},
+	} {
+		res, err := runner.RunCampaign(entry.ctrl, entry.initial, compiled.ZombieStates, episodes,
+			rng.New(42).Split(entry.ctrl.Name()))
+		if err != nil {
+			return err
+		}
+		table.AddRow(res.Row()...)
+	}
+	fmt.Printf("zombie-fault campaign (%d injections each):\n\n%s", episodes, table.String())
+	return nil
+}

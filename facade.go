@@ -1,0 +1,123 @@
+package bpomdp
+
+import (
+	"bpomdp/internal/arch"
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/client"
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/emn"
+	"bpomdp/internal/experiments"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/server"
+	"bpomdp/internal/sim"
+)
+
+// Model building.
+type (
+	// POMDP is the model tuple (S, A, O, p, q, r).
+	POMDP = pomdp.POMDP
+	// ModelBuilder assembles a POMDP incrementally by name.
+	ModelBuilder = pomdp.Builder
+	// Belief is a probability distribution over states.
+	Belief = pomdp.Belief
+	// System declaratively describes a distributed system (hosts,
+	// components, paths, monitors) and compiles to a recovery model.
+	System = arch.System
+	// Compiled is a compiled System with its index maps.
+	Compiled = arch.Compiled
+	// EMNConfig tunes the paper's EMN evaluation system.
+	EMNConfig = emn.Config
+)
+
+// NewModelBuilder returns an empty POMDP builder.
+func NewModelBuilder() *ModelBuilder { return pomdp.NewBuilder() }
+
+// BuildEMN compiles the paper's Figure 4 EMN deployment.
+func BuildEMN(cfg EMNConfig) (*Compiled, error) { return emn.Build(cfg) }
+
+// Recovery framework (the paper's primary contribution).
+type (
+	// RecoveryModel couples a POMDP with recovery semantics (Sφ, cost
+	// rates, durations).
+	RecoveryModel = core.RecoveryModel
+	// PrepareOptions configures Prepare.
+	PrepareOptions = core.PrepareOptions
+	// Prepared is a transformed model with its RA-Bound, ready to control.
+	Prepared = core.Prepared
+	// ControllerConfig tunes the bounded controller.
+	ControllerConfig = core.ControllerConfig
+	// Regime is the Section 3.1 convergence regime.
+	Regime = core.Regime
+	// BoundSet is a set of lower-bound hyperplanes over the belief simplex.
+	BoundSet = bounds.Set
+	// Controller drives recovery for one fault episode.
+	Controller = controller.Controller
+	// BootstrapVariant selects the Figure 5 bootstrap scheme.
+	BootstrapVariant = controller.BootstrapVariant
+	// RNG is a deterministic splittable random stream.
+	RNG = rng.Stream
+)
+
+// Regimes and bootstrap variants.
+const (
+	RegimeNotification = core.RegimeNotification
+	RegimeTermination  = core.RegimeTermination
+	VariantRandom      = controller.VariantRandom
+	VariantAverage     = controller.VariantAverage
+)
+
+// Prepare validates a recovery model (Conditions 1 and 2), applies the
+// regime-appropriate transform, and computes the RA-Bound.
+func Prepare(m *RecoveryModel, opts PrepareOptions) (*Prepared, error) {
+	return core.Prepare(m, opts)
+}
+
+// NewRNG returns the deterministic root stream for a seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Simulation and experiments.
+type (
+	// Runner executes fault-injection episodes against a recovery model.
+	Runner = sim.Runner
+	// EpisodeResult holds one episode's Table 1 metrics.
+	EpisodeResult = sim.EpisodeResult
+	// CampaignResult aggregates a campaign's per-fault averages.
+	CampaignResult = sim.CampaignResult
+	// Table1Config parameterizes the Table 1 reproduction.
+	Table1Config = experiments.Table1Config
+	// Table1Result is the Table 1 reproduction output.
+	Table1Result = experiments.Table1Result
+	// Fig5Config parameterizes the Figure 5 reproduction.
+	Fig5Config = experiments.Fig5Config
+	// Fig5Result is the Figure 5 reproduction output.
+	Fig5Result = experiments.Fig5Result
+)
+
+// NewRunner builds a fault-injection runner (maxSteps 0 means 1000).
+func NewRunner(rm *RecoveryModel, maxSteps int) (*Runner, error) {
+	return sim.NewRunner(rm, maxSteps)
+}
+
+// Table1 reruns the paper's fault-injection experiment.
+func Table1(cfg Table1Config) (*Table1Result, error) { return experiments.Table1(cfg) }
+
+// Fig5 reruns the paper's bounds-improvement experiment.
+func Fig5(cfg Fig5Config) (*Fig5Result, error) { return experiments.Fig5(cfg) }
+
+// Service deployment.
+type (
+	// Server exposes recovery controllers over HTTP.
+	Server = server.Server
+	// ServerConfig configures a Server.
+	ServerConfig = server.Config
+	// Client is the typed HTTP client for a recovery service.
+	Client = client.Client
+)
+
+// NewServer builds the HTTP recovery service.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewClient returns a client for the recovery service at baseURL.
+func NewClient(baseURL string) (*Client, error) { return client.New(baseURL, nil) }

@@ -1,0 +1,69 @@
+package bpomdp
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the README shows:
+// build the EMN model, prepare it, bootstrap, and recover from a zombie.
+func TestFacadeEndToEnd(t *testing.T) {
+	compiled, err := BuildEMN(EMNConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := compiled.Recovery
+	if rm.POMDP.NumStates() != 14 {
+		t.Fatalf("EMN states = %d", rm.POMDP.NumStates())
+	}
+
+	prep, err := Prepare(rm, PrepareOptions{OperatorResponseTime: 6 * 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Regime != RegimeTermination {
+		t.Fatalf("regime = %v", prep.Regime)
+	}
+	if _, err := prep.Bootstrap(5, VariantAverage, 1, NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl, err := prep.NewController(ControllerConfig{Depth: 1, ImproveOnline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(rm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := prep.InitialBelief()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.RunEpisode(ctrl, initial, compiled.StateIndex["zombie:S1"], NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Error("facade episode terminated before recovery")
+	}
+	if res.Cost <= 0 || res.RecoveryTime <= 0 {
+		t.Errorf("metrics: cost=%v recovery=%v", res.Cost, res.RecoveryTime)
+	}
+}
+
+// TestFacadeModelBuilder builds a custom POMDP through the facade.
+func TestFacadeModelBuilder(t *testing.T) {
+	b := NewModelBuilder()
+	b.Transition("ok", "noop", "ok", 1)
+	b.Transition("bad", "noop", "bad", 1)
+	b.Reward("bad", "noop", -1)
+	b.Observe("ok", "noop", "clear", 1)
+	b.Observe("bad", "noop", "alarm", 1)
+	model, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumStates() != 2 || model.NumObservations() != 2 {
+		t.Fatalf("shape %d/%d", model.NumStates(), model.NumObservations())
+	}
+}

@@ -1,0 +1,3 @@
+module bpomdp
+
+go 1.22

@@ -1,0 +1,339 @@
+package arch
+
+import (
+	"fmt"
+
+	"bpomdp/internal/core"
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+)
+
+// Compiled is the result of compiling a System: the recovery model plus the
+// index maps callers need to inject faults and interpret observations.
+type Compiled struct {
+	// Recovery is the compiled recovery model (untransformed POMDP plus
+	// recovery semantics), ready for core.Prepare.
+	Recovery *core.RecoveryModel
+	// NullState is the index of the fault-free state.
+	NullState int
+	// CrashStates, ZombieStates and HostStates index the fault states by
+	// class (empty for disabled classes).
+	CrashStates, ZombieStates, HostStates []int
+	// ObserveAction is the passive observe action's index.
+	ObserveAction int
+	// StateIndex and ActionIndex map names to indices.
+	StateIndex, ActionIndex map[string]int
+	// MonitorNames is the observation bit order (component monitors then
+	// path monitors).
+	MonitorNames []string
+	// MonitorDuration echoes the system's monitor sweep time.
+	MonitorDuration float64
+}
+
+// fault describes what is broken in a state.
+type fault struct {
+	kind int // 0 = none, 1 = crash, 2 = zombie, 3 = host down
+	name string
+}
+
+const (
+	faultNone = iota
+	faultCrash
+	faultZombie
+	faultHost
+)
+
+func (f fault) stateName() string {
+	switch f.kind {
+	case faultCrash:
+		return CrashStateName(f.name)
+	case faultZombie:
+		return ZombieStateName(f.name)
+	case faultHost:
+		return HostDownStateName(f.name)
+	default:
+		return NullStateName
+	}
+}
+
+// effect describes what an action takes down while executing.
+type effect struct {
+	kind int // 0 = none, 1 = restart component, 2 = reboot host
+	name string
+}
+
+// Compile turns the system description into a recovery POMDP. See the
+// package comment for the modeling rules.
+func (s *System) Compile() (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	compByName := make(map[string]Component, len(s.Components))
+	for _, c := range s.Components {
+		compByName[c.Name] = c
+	}
+	hostComps := make(map[string][]string, len(s.Hosts))
+	for _, c := range s.Components {
+		hostComps[c.Host] = append(hostComps[c.Host], c.Name)
+	}
+	pathByName := make(map[string]Path, len(s.Paths))
+	for _, p := range s.Paths {
+		pathByName[p.Name] = p
+	}
+
+	// Enumerate states.
+	faults := []fault{{kind: faultNone}}
+	if s.CrashFaults {
+		for _, c := range s.Components {
+			faults = append(faults, fault{kind: faultCrash, name: c.Name})
+		}
+	}
+	if s.HostFaults {
+		for _, h := range s.Hosts {
+			faults = append(faults, fault{kind: faultHost, name: h.Name})
+		}
+	}
+	if s.ZombieFaults {
+		for _, c := range s.Components {
+			faults = append(faults, fault{kind: faultZombie, name: c.Name})
+		}
+	}
+
+	// Enumerate actions with their effects and durations.
+	type actionDef struct {
+		name     string
+		eff      effect
+		duration float64
+	}
+	var actions []actionDef
+	for _, c := range s.Components {
+		actions = append(actions, actionDef{
+			name:     RestartActionName(c.Name),
+			eff:      effect{kind: 1, name: c.Name},
+			duration: c.RestartDuration,
+		})
+	}
+	for _, h := range s.Hosts {
+		actions = append(actions, actionDef{
+			name:     RebootActionName(h.Name),
+			eff:      effect{kind: 2, name: h.Name},
+			duration: h.RebootDuration,
+		})
+	}
+	actions = append(actions, actionDef{name: ObserveActionName, eff: effect{}, duration: 0})
+
+	// unavailable returns the set of components that drop requests under
+	// fault f while action effect e executes.
+	unavailable := func(f fault, e effect) map[string]bool {
+		u := make(map[string]bool)
+		switch f.kind {
+		case faultCrash, faultZombie:
+			u[f.name] = true
+		case faultHost:
+			for _, c := range hostComps[f.name] {
+				u[c] = true
+			}
+		}
+		switch e.kind {
+		case 1:
+			u[e.name] = true
+		case 2:
+			for _, c := range hostComps[e.name] {
+				u[c] = true
+			}
+		}
+		return u
+	}
+
+	pathFail := func(p Path, unavail map[string]bool) float64 {
+		ok := 1.0
+		for _, st := range p.Stages {
+			var total, up float64
+			for _, alt := range st {
+				total += alt.Weight
+				if !unavail[alt.Component] {
+					up += alt.Weight
+				}
+			}
+			ok *= up / total
+		}
+		return 1 - ok
+	}
+
+	dropFrac := func(unavail map[string]bool) float64 {
+		var d float64
+		for _, p := range s.Paths {
+			d += p.TrafficShare * pathFail(p, unavail)
+		}
+		return d
+	}
+
+	nextState := func(f fault, e effect) fault {
+		switch e.kind {
+		case 1: // restart component
+			if (f.kind == faultCrash || f.kind == faultZombie) && f.name == e.name {
+				return fault{kind: faultNone}
+			}
+		case 2: // reboot host
+			if f.kind == faultHost && f.name == e.name {
+				return fault{kind: faultNone}
+			}
+			if (f.kind == faultCrash || f.kind == faultZombie) && compByName[f.name].Host == e.name {
+				return fault{kind: faultNone}
+			}
+		}
+		return f
+	}
+
+	// Per-state monitor DOWN probabilities, in monitor order.
+	monitorNames := make([]string, 0, len(s.ComponentMonitors)+len(s.PathMonitors))
+	for _, m := range s.ComponentMonitors {
+		monitorNames = append(monitorNames, m.Name)
+	}
+	for _, m := range s.PathMonitors {
+		monitorNames = append(monitorNames, m.Name)
+	}
+	downProbs := func(f fault) []float64 {
+		probs := make([]float64, 0, len(monitorNames))
+		for _, m := range s.ComponentMonitors {
+			cov, fp := defaultCoverage(m.Coverage), m.FalsePositive
+			crashed := (f.kind == faultCrash && f.name == m.Target) ||
+				(f.kind == faultHost && compByName[m.Target].Host == f.name)
+			if crashed {
+				probs = append(probs, cov)
+			} else {
+				probs = append(probs, fp)
+			}
+		}
+		u := unavailable(f, effect{})
+		for _, m := range s.PathMonitors {
+			cov, fp := defaultCoverage(m.Coverage), m.FalsePositive
+			pf := pathFail(pathByName[m.Path], u)
+			probs = append(probs, cov*pf+fp*(1-pf))
+		}
+		return probs
+	}
+
+	b := pomdp.NewBuilder()
+	// Intern states and actions in enumeration order so indices are stable.
+	for _, f := range faults {
+		b.State(f.stateName())
+	}
+	for _, a := range actions {
+		b.Action(a.name)
+	}
+
+	for _, f := range faults {
+		from := f.stateName()
+		for _, a := range actions {
+			to := nextState(f, a.eff)
+			b.Transition(from, a.name, to.stateName(), 1)
+
+			during := dropFrac(unavailable(f, a.eff))
+			after := dropFrac(unavailable(to, effect{}))
+			r := -(during*a.duration + after*s.MonitorDuration + s.MonitorCost)
+			if r != 0 {
+				b.Reward(from, a.name, r)
+			}
+
+			// Monitors run after the action lands in `to`; the observation
+			// row belongs to the landing state.
+		}
+	}
+	// Observation rows: q(o|s,a) is action-independent (monitors sample the
+	// landing state), so emit the same distribution for every action.
+	for _, f := range faults {
+		state := f.stateName()
+		combos := enumerateObservations(monitorNames, downProbs(f))
+		for _, cb := range combos {
+			for _, a := range actions {
+				b.Observe(state, a.name, cb.name, cb.prob)
+			}
+		}
+	}
+
+	model, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("arch: compile %q: %w", s.Name, err)
+	}
+
+	c := &Compiled{
+		StateIndex:      make(map[string]int, model.NumStates()),
+		ActionIndex:     make(map[string]int, model.NumActions()),
+		MonitorNames:    monitorNames,
+		MonitorDuration: s.MonitorDuration,
+	}
+	for i := 0; i < model.NumStates(); i++ {
+		c.StateIndex[model.M.StateName(i)] = i
+	}
+	for i := 0; i < model.NumActions(); i++ {
+		c.ActionIndex[model.M.ActionName(i)] = i
+	}
+	c.NullState = c.StateIndex[NullStateName]
+	c.ObserveAction = c.ActionIndex[ObserveActionName]
+	for _, f := range faults {
+		idx := c.StateIndex[f.stateName()]
+		switch f.kind {
+		case faultCrash:
+			c.CrashStates = append(c.CrashStates, idx)
+		case faultZombie:
+			c.ZombieStates = append(c.ZombieStates, idx)
+		case faultHost:
+			c.HostStates = append(c.HostStates, idx)
+		}
+	}
+
+	rates := linalg.NewVector(model.NumStates())
+	durations := make([]float64, model.NumActions())
+	for _, f := range faults {
+		rates[c.StateIndex[f.stateName()]] = -dropFrac(unavailable(f, effect{}))
+	}
+	for _, a := range actions {
+		durations[c.ActionIndex[a.name]] = a.duration
+	}
+	c.Recovery = &core.RecoveryModel{
+		POMDP:           model,
+		NullStates:      []int{c.NullState},
+		RateRewards:     rates,
+		Durations:       durations,
+		MonitorAction:   c.ObserveAction,
+		MonitorDuration: s.MonitorDuration,
+	}
+	if err := c.Recovery.Validate(); err != nil {
+		return nil, fmt.Errorf("arch: compiled model invalid: %w", err)
+	}
+	return c, nil
+}
+
+func defaultCoverage(c float64) float64 {
+	if c == 0 {
+		return 1
+	}
+	return c
+}
+
+type obsCombo struct {
+	name string
+	prob float64
+}
+
+// enumerateObservations expands the joint distribution of independent
+// monitor bits, pruning zero-probability branches. The observation name
+// lists the DOWN monitors in monitor order.
+func enumerateObservations(names []string, downProbs []float64) []obsCombo {
+	var out []obsCombo
+	var walk func(i int, down []string, prob float64)
+	walk = func(i int, down []string, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if i == len(names) {
+			out = append(out, obsCombo{name: ObservationName(down), prob: prob})
+			return
+		}
+		walk(i+1, down, prob*(1-downProbs[i]))
+		walk(i+1, append(down, names[i]), prob*downProbs[i])
+	}
+	walk(0, nil, 1)
+	return out
+}

@@ -1,0 +1,108 @@
+package arch
+
+import (
+	"fmt"
+	"testing"
+
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/core"
+	"bpomdp/internal/rng"
+)
+
+// randomSystem generates a random but well-formed architecture: hosts with
+// 1–3 components each, one or two load-balanced request paths, a ping
+// monitor per component and a path monitor per path.
+func randomSystem(r *rng.Stream) *System {
+	nHosts := 1 + r.IntN(3)
+	sys := &System{
+		Name:            "random",
+		MonitorDuration: 1 + 4*r.Float64(),
+		MonitorCost:     0.1 + r.Float64(),
+		CrashFaults:     true,
+		ZombieFaults:    r.Bernoulli(0.7),
+		HostFaults:      r.Bernoulli(0.7),
+	}
+	var comps []string
+	for h := 0; h < nHosts; h++ {
+		host := fmt.Sprintf("h%d", h)
+		sys.Hosts = append(sys.Hosts, Host{Name: host, RebootDuration: 60 + 240*r.Float64()})
+		for c := 0; c < 1+r.IntN(3); c++ {
+			name := fmt.Sprintf("c%d_%d", h, c)
+			comps = append(comps, name)
+			sys.Components = append(sys.Components, Component{
+				Name: name, Host: host, RestartDuration: 5 + 100*r.Float64(),
+			})
+		}
+	}
+	// One or two paths, each with 1–3 stages drawn from the components.
+	nPaths := 1 + r.IntN(2)
+	share := 1.0 / float64(nPaths)
+	for p := 0; p < nPaths; p++ {
+		path := Path{Name: fmt.Sprintf("p%d", p), TrafficShare: share}
+		nStages := 1 + r.IntN(3)
+		for st := 0; st < nStages; st++ {
+			stage := Stage{}
+			nAlts := 1 + r.IntN(2)
+			for a := 0; a < nAlts; a++ {
+				stage = append(stage, Alternative{
+					Component: comps[r.IntN(len(comps))],
+					Weight:    0.5 + r.Float64(),
+				})
+			}
+			path.Stages = append(path.Stages, stage)
+		}
+		sys.Paths = append(sys.Paths, path)
+		sys.PathMonitors = append(sys.PathMonitors, PathMonitor{
+			Name: fmt.Sprintf("pm%d", p), Path: path.Name,
+		})
+	}
+	for i, c := range comps {
+		sys.ComponentMonitors = append(sys.ComponentMonitors, ComponentMonitor{
+			Name: fmt.Sprintf("cm%d", i), Target: c,
+		})
+	}
+	return sys
+}
+
+// TestCompileRandomSystems is the compiler's generative soundness check:
+// every random well-formed architecture must compile into a recovery model
+// that validates (Conditions 1 and 2, stochastic rows), prepares under the
+// termination regime, and yields a convergent RA-Bound dominated by QMDP.
+func TestCompileRandomSystems(t *testing.T) {
+	root := rng.New(777)
+	for trial := 0; trial < 15; trial++ {
+		r := root.SplitN("sys", trial)
+		sys := randomSystem(r)
+		c, err := sys.Compile()
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		rm := c.Recovery
+		if err := rm.Validate(); err != nil {
+			t.Fatalf("trial %d: validate: %v", trial, err)
+		}
+		// Property 1(a): the positive monitor cost leaves no free actions.
+		if free := rm.FreeActions(); len(free) != 0 {
+			t.Errorf("trial %d: %d free actions despite monitor cost", trial, len(free))
+		}
+		prep, err := core.Prepare(rm, core.PrepareOptions{
+			OperatorResponseTime: 1000,
+			ForceRegime:          core.RegimeTermination,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: prepare: %v", trial, err)
+		}
+		up, err := bounds.QMDP(prep.Model, bounds.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: QMDP: %v", trial, err)
+		}
+		for s := range up {
+			if up[s] < prep.RA[s]-1e-6 {
+				t.Errorf("trial %d state %d: QMDP %v below RA %v", trial, s, up[s], prep.RA[s])
+			}
+			if prep.RA[s] > 1e-9 {
+				t.Errorf("trial %d state %d: RA %v above zero", trial, s, prep.RA[s])
+			}
+		}
+	}
+}

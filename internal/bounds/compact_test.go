@@ -1,0 +1,118 @@
+package bounds
+
+import (
+	"testing"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func TestCompactLPRemovesEnvelopeUselessPlanes(t *testing.T) {
+	// (0.4, 0.4) sits strictly under max{(1,0), (0,1)} everywhere but is
+	// not pointwise-dominated by either, so Add keeps it and only the LP
+	// test can discard it.
+	s, err := NewSet(2, linalg.Vector{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd := func(v linalg.Vector) {
+		t.Helper()
+		if _, err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(linalg.Vector{0, 1})
+	mustAdd(linalg.Vector{0.4, 0.4})
+	if s.Size() != 3 {
+		t.Fatalf("size before compact = %d", s.Size())
+	}
+	removed, err := s.CompactLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || s.Size() != 2 {
+		t.Errorf("removed %d, size %d; want 1 removed, size 2", removed, s.Size())
+	}
+	// Values unchanged.
+	for p := 0.0; p <= 1.00001; p += 0.05 {
+		pi := pomdp.Belief{p, 1 - p}
+		want := p
+		if 1-p > p {
+			want = 1 - p
+		}
+		if got := s.Value(pi); !almostEqual(got, want, 1e-9) {
+			t.Errorf("value at %v = %v, want %v", pi, got, want)
+		}
+	}
+}
+
+func TestCompactLPKeepsBasePlane(t *testing.T) {
+	// Base plane strictly under another: dominance pruning spares index 0
+	// by design, and so must CompactLP.
+	s, err := NewSet(2, linalg.Vector{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(linalg.Vector{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompactLP(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 2 {
+		t.Errorf("size = %d, want 2 (base retained)", s.Size())
+	}
+	if got := s.Plane(0); got[0] != -1 {
+		t.Errorf("base plane = %v", got)
+	}
+}
+
+func TestCompactLPPreservesImprovedBound(t *testing.T) {
+	// On a real improved set: compaction must not change V_B anywhere and
+	// the compacted set must stay consistent (Property 1(b)).
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	beliefs := make([]pomdp.Belief, 0, 40)
+	for i := 0; i < 40; i++ {
+		pi := randomBelief(r, mod.NumStates())
+		beliefs = append(beliefs, pi)
+		if _, err := u.UpdateAt(pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := make([]float64, len(beliefs))
+	for i, pi := range beliefs {
+		before[i] = set.Value(pi)
+	}
+	sizeBefore := set.Size()
+	removed, err := set.CompactLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("compacted %d -> %d planes (%d removed)", sizeBefore, set.Size(), removed)
+	for i, pi := range beliefs {
+		if got := set.Value(pi); !almostEqual(got, before[i], 1e-9) {
+			t.Errorf("belief %d: value changed %v -> %v", i, before[i], got)
+		}
+	}
+	sc := pomdp.NewScratch(mod)
+	for trial := 0; trial < 10; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		rep, err := CheckConsistency(mod, sc, set, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Errorf("trial %d: consistency violated after compaction", trial)
+		}
+	}
+}

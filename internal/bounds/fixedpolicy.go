@@ -1,0 +1,70 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+)
+
+// FixedPolicy generalizes the RA-Bound from the uniform action distribution
+// to an arbitrary state-independent action distribution w: the hyperplane
+// is the expected total reward of the Markov chain that plays a ~ w in
+// every state,
+//
+//	V_w(s) = Σ_a w(a)·[ r(s,a) + β Σ_s' p(s'|s,a)·V_w(s') ].
+//
+// The paper's Lemma 3.1 proof only uses that the maximum over actions
+// dominates any fixed convex combination of them — a property that holds
+// for every state-independent w, not just the uniform one — so V_w is a
+// valid POMDP lower bound under exactly the same conditions as the
+// RA-Bound. (State-DEPENDENT policies do not qualify: their belief-space
+// value is Σ_s π(s)·V(s) with per-state maximization, which is the QMDP
+// UPPER bound.)
+//
+// Choosing w to favor actions that make progress from the likely faults
+// yields a strictly tighter starting bound than RA on many models; the
+// uniform w recovers RA exactly.
+func FixedPolicy(p *pomdp.POMDP, weights []float64, opts Options) (linalg.Vector, error) {
+	o := opts.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) != p.NumActions() {
+		return nil, fmt.Errorf("bounds: %d weights for %d actions", len(weights), p.NumActions())
+	}
+	var total float64
+	for a, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("bounds: invalid weight %v for action %d", w, a)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("bounds: weights sum to %v", total)
+	}
+
+	n := p.NumStates()
+	b := linalg.NewBuilder(n, n)
+	reward := linalg.NewVector(n)
+	for a := 0; a < p.NumActions(); a++ {
+		w := weights[a] / total
+		if w == 0 {
+			continue
+		}
+		for s := 0; s < n; s++ {
+			p.M.Trans[a].Row(s, func(c int, v float64) { b.Add(s, c, v*w) })
+		}
+		reward.AddScaled(w, p.M.Reward[a])
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("bounds: fixed-policy chain: %w", err)
+	}
+	v, _, err := linalg.SolveFixedPoint(chain, o.Beta, reward, o.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("bounds: fixed-policy solve: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,145 @@
+package bounds
+
+import (
+	"testing"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func TestFixedPolicyUniformEqualsRA(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	uniform := make([]float64, mod.NumActions())
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	fp, err := FixedPolicy(mod, uniform, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := RA(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fp.InfNormDiff(ra); d > 1e-7 {
+		t.Errorf("uniform fixed policy differs from RA by %g", d)
+	}
+}
+
+func TestFixedPolicyWeightedIsValidAndCanBeTighter(t *testing.T) {
+	mod, idx := withoutNotification(t)
+	// Favor restarts over observing and lean on terminate to cut losses
+	// quickly — on this model the tilt dominates the uniform RA policy in
+	// every state. Action order: restart-a, restart-b, observe, a_T.
+	weights := []float64{2, 2, 1, 3}
+	fp, err := FixedPolicy(mod, weights, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := RA(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validity: stays below the L_p iterates at random beliefs.
+	r := rng.New(91)
+	for trial := 0; trial < 10; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		val := linalg.Vector(pi).Dot(fp)
+		if upper := lpIterate(t, mod, pi, 3); val > upper+1e-7 {
+			t.Errorf("trial %d: fixed-policy bound %v above L_p^3 0 = %v", trial, val, upper)
+		}
+	}
+	// Tighter than RA in the fault states (progress is more likely under
+	// the tilted policy), and still 0 at s_T.
+	improvedSomewhere := false
+	for s := 0; s < mod.NumStates(); s++ {
+		if fp[s] > ra[s]+1e-9 {
+			improvedSomewhere = true
+		}
+	}
+	if !improvedSomewhere {
+		t.Errorf("tilted policy no tighter than RA anywhere: fp=%v ra=%v", fp, ra)
+	}
+	if fp[idx.State] != 0 {
+		t.Errorf("fixed-policy value at s_T = %v", fp[idx.State])
+	}
+
+	// Property 1(b) holds for the fixed-policy plane as well.
+	set, err := NewSet(mod.NumStates(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := pomdp.NewScratch(mod)
+	for trial := 0; trial < 10; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		rep, err := CheckConsistency(mod, sc, set, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Errorf("trial %d: V_w %v > L_p V_w %v", trial, rep.Bound, rep.Backup)
+		}
+	}
+}
+
+func TestFixedPolicyValidation(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	if _, err := FixedPolicy(mod, []float64{1}, Options{}); err == nil {
+		t.Error("short weights accepted")
+	}
+	if _, err := FixedPolicy(mod, []float64{1, -1, 1, 1}, Options{}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := FixedPolicy(mod, []float64{0, 0, 0, 0}, Options{}); err == nil {
+		t.Error("zero weights accepted")
+	}
+}
+
+func TestFixedPolicyDegenerateIsBlindPolicy(t *testing.T) {
+	// All mass on a_T reproduces the blind-terminate plane: the termination
+	// rewards.
+	mod, idx := withoutNotification(t)
+	weights := make([]float64, mod.NumActions())
+	weights[idx.Action] = 1
+	fp, err := FixedPolicy(mod, weights, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fp.InfNormDiff(mod.M.Reward[idx.Action]); d > 1e-8 {
+		t.Errorf("terminate-only policy differs from termination rewards by %g", d)
+	}
+}
+
+// TestCheckConsistencyRejectsUpperBoundAsLower is the negative control for
+// Property 1(b): feeding the QMDP UPPER bound into the machinery as if it
+// were a lower bound must be caught by the consistency check somewhere on
+// the simplex (V > L_p V), which is exactly the malfunction the check
+// exists to detect.
+func TestCheckConsistencyRejectsUpperBoundAsLower(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	up, err := QMDP(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewSet(mod.NumStates(), up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := pomdp.NewScratch(mod)
+	r := rng.New(55)
+	violated := false
+	for trial := 0; trial < 50 && !violated; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		rep, err := CheckConsistency(mod, sc, set, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("consistency check never flagged the QMDP upper bound used as a lower bound")
+	}
+}

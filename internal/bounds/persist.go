@@ -1,0 +1,62 @@
+package bounds
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"bpomdp/internal/linalg"
+)
+
+// setJSON is the stable on-disk representation of a hyperplane set, so a
+// bound bootstrapped offline (minutes of simulation) can be shipped with a
+// deployment and loaded by the online controller at startup.
+type setJSON struct {
+	// States is the dimension of the belief space.
+	States int `json:"states"`
+	// Capacity is the optional plane cap (0 = unlimited).
+	Capacity int `json:"capacity,omitempty"`
+	// Planes are the bound hyperplanes, base plane first.
+	Planes [][]float64 `json:"planes"`
+}
+
+// MarshalJSON encodes the set (planes and capacity; usage counters are
+// transient and not persisted).
+func (s *Set) MarshalJSON() ([]byte, error) {
+	out := setJSON{
+		States:   s.n,
+		Capacity: s.maxLen,
+		Planes:   make([][]float64, len(s.planes)),
+	}
+	for i, p := range s.planes {
+		out.Planes[i] = append([]float64(nil), p...)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a set previously encoded with MarshalJSON,
+// validating dimensions and finiteness.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var in setJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("bounds: decode set: %w", err)
+	}
+	if in.States <= 0 {
+		return fmt.Errorf("bounds: decode set: non-positive state count %d", in.States)
+	}
+	planes := make([]linalg.Vector, len(in.Planes))
+	for i, p := range in.Planes {
+		if len(p) != in.States {
+			return fmt.Errorf("bounds: decode set: plane %d has length %d, want %d", i, len(p), in.States)
+		}
+		v := linalg.Vector(append([]float64(nil), p...))
+		if !v.IsFinite() {
+			return fmt.Errorf("bounds: decode set: plane %d is not finite", i)
+		}
+		planes[i] = v
+	}
+	s.n = in.States
+	s.maxLen = in.Capacity
+	s.planes = planes
+	s.uses = make([]uint64, len(planes))
+	return nil
+}

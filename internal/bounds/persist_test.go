@@ -1,0 +1,73 @@
+package bounds
+
+import (
+	"encoding/json"
+	"testing"
+
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	for i := 0; i < 10; i++ {
+		if _, err := u.UpdateAt(randomBelief(r, mod.NumStates())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set.SetCapacity(64)
+
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != set.Size() || back.NumStates() != set.NumStates() {
+		t.Fatalf("round trip: %d/%d planes, %d/%d states",
+			back.Size(), set.Size(), back.NumStates(), set.NumStates())
+	}
+	for trial := 0; trial < 20; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		if a, b := set.Value(pi), back.Value(pi); a != b {
+			t.Fatalf("value mismatch after round trip: %v vs %v", a, b)
+		}
+	}
+	// The reloaded set remains improvable.
+	u2, err := NewUpdater(mod, &back, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u2.UpdateAt(pomdp.UniformBelief(mod.NumStates())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetUnmarshalRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"zero states":     `{"states":0,"planes":[]}`,
+		"short plane":     `{"states":3,"planes":[[1,2]]}`,
+		"long plane":      `{"states":1,"planes":[[1,2]]}`,
+		"nan via science": `{"states":1,"planes":[[1e999]]}`,
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			var s Set
+			if err := json.Unmarshal([]byte(data), &s); err == nil {
+				t.Errorf("malformed set accepted: %s", data)
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package bounds
+
+import (
+	"fmt"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+)
+
+// Options configures bound computations.
+type Options struct {
+	// Beta is the discount factor in (0, 1]; zero means 1 (undiscounted).
+	Beta float64
+	// Solver tunes the underlying fixed-point solver (tolerance, iteration
+	// budget, SOR relaxation factor).
+	Solver linalg.FixedPointOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Beta == 0 {
+		o.Beta = 1
+	}
+	return o
+}
+
+// RA computes the RA-Bound hyperplane V_m⁻ of Section 3.1: the expected
+// total reward of the Markov chain obtained by choosing actions uniformly at
+// random in the POMDP's underlying MDP (Equation 5), solved by Gauss-Seidel
+// iterations with successive over-relaxation.
+//
+// The model must already be in one of the two convergent forms of §3.1:
+// either null-fault states have been made absorbing and zero-reward
+// (pomdp.AbsorbNullStates — systems with recovery notification) or the
+// terminate action/state have been added (pomdp.WithTermination — systems
+// without). On models satisfying Condition 1 these forms guarantee a finite
+// solution; on other models the solve may diverge, reported as an error
+// wrapping linalg.ErrNoConvergence.
+//
+// The RA-Bound for a belief π is then V_p⁻(π) = Σ_s π(s)·V_m⁻(s), a single
+// hyperplane computed on the original state space — exponentially smaller
+// than the belief space.
+func RA(p *pomdp.POMDP, opts Options) (linalg.Vector, error) {
+	o := opts.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	chain, reward, err := p.M.UniformChain()
+	if err != nil {
+		return nil, fmt.Errorf("bounds: RA-Bound chain: %w", err)
+	}
+	v, _, err := linalg.SolveFixedPoint(chain, o.Beta, reward, o.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("bounds: RA-Bound solve: %w", err)
+	}
+	return v, nil
+}
+
+// RASet computes the RA-Bound and wraps it as a one-plane Set, the starting
+// point for iterative improvement.
+func RASet(p *pomdp.POMDP, opts Options) (*Set, error) {
+	v, err := RA(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewSet(p.NumStates(), v)
+}
+
+// TrivialUpper returns the trivial upper bound of Condition 2: with all
+// single-step rewards non-positive, the value function is bounded above by
+// zero everywhere (this is the upper bound the paper's Figure 5(a) measures
+// against).
+func TrivialUpper(p *pomdp.POMDP) (linalg.Vector, error) {
+	if !p.M.AllRewardsNonPositive() {
+		return nil, fmt.Errorf("bounds: model has positive rewards; trivial zero upper bound invalid")
+	}
+	return linalg.NewVector(p.NumStates()), nil
+}

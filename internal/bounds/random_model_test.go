@@ -1,0 +1,144 @@
+package bounds
+
+import (
+	"fmt"
+	"testing"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+// randomRecoveryModel generates a random POMDP satisfying the paper's
+// Conditions 1 and 2: state 0 is the null state, every other state has at
+// least one action that moves it strictly "toward" recovery, all rewards
+// are negative outside Sφ, and observations are noisy views of the state.
+// The model is returned already transformed with the terminate action.
+func randomRecoveryModel(t *testing.T, r *rng.Stream, nStates, nActions, nObs int) *pomdp.POMDP {
+	t.Helper()
+	b := pomdp.NewBuilder()
+	name := func(s int) string {
+		if s == 0 {
+			return "null"
+		}
+		return fmt.Sprintf("fault%d", s)
+	}
+	for s := 0; s < nStates; s++ {
+		b.State(name(s))
+	}
+	for a := 0; a < nActions; a++ {
+		action := fmt.Sprintf("act%d", a)
+		for s := 0; s < nStates; s++ {
+			if s == 0 {
+				b.Transition(name(s), action, name(s), 1)
+			} else if a == s%nActions || a == 0 {
+				// The "right" action (and action 0 as a fallback) makes
+				// progress with high probability.
+				pFix := 0.5 + 0.5*r.Float64()
+				b.Transition(name(s), action, name(0), pFix)
+				if pFix < 1 {
+					b.Transition(name(s), action, name(s), 1-pFix)
+				}
+			} else {
+				b.Transition(name(s), action, name(s), 1)
+			}
+			// Condition 2 + Property 1(a): strictly negative costs
+			// everywhere outside Sφ; small cost in Sφ for non-null actions.
+			cost := -0.1 - r.Float64()
+			if s == 0 {
+				cost = -0.05
+			}
+			b.Reward(name(s), action, cost)
+		}
+	}
+	// Observations: each state mostly emits its own signature, with noise
+	// spread over two other observations (so localization is imperfect).
+	for a := 0; a < nActions; a++ {
+		action := fmt.Sprintf("act%d", a)
+		for s := 0; s < nStates; s++ {
+			main := s % nObs
+			alt := (s + 1) % nObs
+			b.Observe(name(s), action, fmt.Sprintf("obs%d", main), 0.7)
+			b.Observe(name(s), action, fmt.Sprintf("obs%d", alt), 0.3)
+		}
+	}
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := linalg.NewVector(nStates)
+	for s := 1; s < nStates; s++ {
+		rates[s] = -0.2 - r.Float64()
+	}
+	mod, _, err := pomdp.WithTermination(base, pomdp.TerminationConfig{
+		NullStates:           []int{0},
+		OperatorResponseTime: 5 + 10*r.Float64(),
+		RateReward:           rates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestRABoundPropertiesOnRandomModels is the generative soundness check:
+// across random recovery models, the RA-Bound must converge, stay below the
+// L_p iterates (which upper-bound the true value function), satisfy
+// Property 1(b), and keep all of that through incremental updates.
+func TestRABoundPropertiesOnRandomModels(t *testing.T) {
+	root := rng.New(2024)
+	for trial := 0; trial < 12; trial++ {
+		r := root.SplitN("model", trial)
+		nStates := 3 + r.IntN(5)
+		nActions := 2 + r.IntN(3)
+		nObs := 2 + r.IntN(3)
+		mod := randomRecoveryModel(t, r, nStates, nActions, nObs)
+
+		ra, err := RA(mod, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%d states): RA failed: %v", trial, nStates, err)
+		}
+		set, err := NewSet(mod.NumStates(), ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := NewUpdater(mod, set, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := pomdp.NewScratch(mod)
+		for step := 0; step < 8; step++ {
+			pi := randomBelief(r, mod.NumStates())
+			res, err := u.UpdateAt(pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.After < res.Before-1e-9 {
+				t.Errorf("trial %d: update decreased bound", trial)
+			}
+			rep, err := CheckConsistency(mod, sc, set, pi, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK {
+				t.Errorf("trial %d: Property 1(b) violated after update %d", trial, step)
+			}
+			vb := set.Value(pi)
+			if upper := lpIterate(t, mod, pi, 2); vb > upper+1e-7 {
+				t.Errorf("trial %d: bound %v above L_p^2 0 = %v", trial, vb, upper)
+			}
+		}
+
+		// QMDP upper bound dominates the improved lower bound statewise.
+		up, err := QMDP(mod, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: QMDP: %v", trial, err)
+		}
+		for s := 0; s < mod.NumStates(); s++ {
+			point := pomdp.PointBelief(mod.NumStates(), s)
+			if lb := set.Value(point); lb > up[s]+1e-7 {
+				t.Errorf("trial %d state %d: lower %v above QMDP %v", trial, s, lb, up[s])
+			}
+		}
+	}
+}

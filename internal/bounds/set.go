@@ -1,0 +1,199 @@
+// Package bounds implements value-function bounds for POMDPs: the paper's
+// RA-Bound (Section 3) with its convergence machinery for undiscounted
+// recovery models, the two comparison lower bounds from the literature
+// (BI-POMDP and the blind-policy method) whose divergence on recovery models
+// the paper demonstrates, the incremental linear-function improvement scheme
+// of Section 4.1, and — as the extension the paper's conclusion calls for —
+// a QMDP-style upper bound usable for gap diagnostics and branch-and-bound.
+//
+// A lower bound is represented as a set of hyperplanes over the belief
+// simplex: B = {b₁, …, b_k} with V_B⁻(π) = max_b π·b (Equation 6). The
+// RA-Bound alone is the single hyperplane [V_m⁻(s)]_s.
+package bounds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+)
+
+// ErrUnbounded is wrapped by bound computations whose value diverges to -∞
+// on the given model (the failure mode of BI-POMDP and blind-policy bounds
+// on undiscounted recovery models).
+var ErrUnbounded = errors.New("bounds: bound diverges on this model")
+
+// ErrEmptySet is returned when evaluating an empty hyperplane set.
+var ErrEmptySet = errors.New("bounds: empty hyperplane set")
+
+// Set is a collection of lower-bound hyperplanes over the belief simplex,
+// with the max-of-hyperplanes evaluation of Equation 6, dominated-plane
+// pruning, and an optional capacity with least-used eviction (the finite-
+// storage strategy sketched in Section 4.3 of the paper).
+//
+// A Set is not safe for concurrent mutation; controllers own their set.
+type Set struct {
+	planes []linalg.Vector
+	uses   []uint64
+	maxLen int // 0 = unlimited
+	n      int // state count
+}
+
+// NewSet creates a hyperplane set over an n-state belief space, seeded with
+// the given base hyperplanes (each of length n).
+func NewSet(n int, base ...linalg.Vector) (*Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bounds: non-positive state count %d", n)
+	}
+	s := &Set{n: n}
+	for i, b := range base {
+		if len(b) != n {
+			return nil, fmt.Errorf("bounds: base hyperplane %d has length %d, want %d", i, len(b), n)
+		}
+		if !b.IsFinite() {
+			return nil, fmt.Errorf("bounds: base hyperplane %d is not finite", i)
+		}
+		s.planes = append(s.planes, b.Clone())
+		s.uses = append(s.uses, 0)
+	}
+	return s, nil
+}
+
+// SetCapacity bounds the number of stored hyperplanes; when an Add would
+// exceed it, the least-used plane (other than the first, which is kept as
+// the always-valid base) is evicted. Zero removes the limit.
+func (s *Set) SetCapacity(maxLen int) { s.maxLen = maxLen }
+
+// Size returns the number of stored hyperplanes.
+func (s *Set) Size() int { return len(s.planes) }
+
+// NumStates returns the dimension of the underlying belief space.
+func (s *Set) NumStates() int { return s.n }
+
+// Value evaluates V_B⁻(π) = max_b π·b and records a use of the maximizing
+// plane. It panics on dimension mismatch (beliefs are validated upstream)
+// and returns -Inf for an empty set.
+func (s *Set) Value(pi pomdp.Belief) float64 {
+	v, _ := s.ValueArg(pi)
+	return v
+}
+
+// ValueArg is Value plus the index of the maximizing hyperplane (-1 when
+// the set is empty).
+func (s *Set) ValueArg(pi pomdp.Belief) (float64, int) {
+	best, arg := math.Inf(-1), -1
+	x := linalg.Vector(pi)
+	for i, b := range s.planes {
+		if v := x.Dot(b); v > best {
+			best, arg = v, i
+		}
+	}
+	if arg >= 0 {
+		s.uses[arg]++
+	}
+	return best, arg
+}
+
+// Plane returns (a copy of) hyperplane i.
+func (s *Set) Plane(i int) linalg.Vector { return s.planes[i].Clone() }
+
+// Add inserts a new hyperplane unless it is pointwise dominated by an
+// existing one (in which case it can never be the max anywhere on the
+// simplex and is discarded, per Section 4.1: "any additional bound
+// hyperplanes that are not better in at least some regions of the
+// probability simplex can be discarded"). It returns whether the plane was
+// kept. Planes that dominate existing ones cause the dominated ones to be
+// pruned. If a capacity is set, the least-used non-base plane is evicted to
+// make room.
+func (s *Set) Add(b linalg.Vector) (bool, error) {
+	if len(b) != s.n {
+		return false, fmt.Errorf("bounds: hyperplane length %d, want %d", len(b), s.n)
+	}
+	if !b.IsFinite() {
+		return false, fmt.Errorf("bounds: non-finite hyperplane")
+	}
+	const tol = 1e-12
+	for _, existing := range s.planes {
+		if dominates(existing, b, tol) {
+			return false, nil
+		}
+	}
+	// Prune planes the newcomer dominates (never the base plane at index 0,
+	// which callers rely on for the Property 1(b) guarantee).
+	w := 1
+	for i := 1; i < len(s.planes); i++ {
+		if dominates(b, s.planes[i], tol) {
+			continue
+		}
+		s.planes[w] = s.planes[i]
+		s.uses[w] = s.uses[i]
+		w++
+	}
+	s.planes = s.planes[:w]
+	s.uses = s.uses[:w]
+
+	if s.maxLen > 0 && len(s.planes) >= s.maxLen {
+		s.evictLeastUsed()
+	}
+	s.planes = append(s.planes, b.Clone())
+	s.uses = append(s.uses, 0)
+	return true, nil
+}
+
+// dominates reports a ≥ b pointwise (within tol).
+func dominates(a, b linalg.Vector, tol float64) bool {
+	for i := range a {
+		if a[i] < b[i]-tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) evictLeastUsed() {
+	if len(s.planes) <= 1 {
+		return
+	}
+	victim := 1
+	for i := 2; i < len(s.planes); i++ {
+		if s.uses[i] < s.uses[victim] {
+			victim = i
+		}
+	}
+	s.planes = append(s.planes[:victim], s.planes[victim+1:]...)
+	s.uses = append(s.uses[:victim], s.uses[victim+1:]...)
+}
+
+// CompactLP removes every hyperplane that is nowhere strictly above the
+// maximum of the others — the exact version of Section 4.1's "not better in
+// at least some regions of the probability simplex can be discarded" test,
+// implemented with the usefulness LP. The base plane (index 0) is always
+// kept so the Property 1(b) guarantee anchored to it survives. V_B⁻ is
+// unchanged at every belief. It returns the number of planes removed.
+func (s *Set) CompactLP() (int, error) {
+	removed := 0
+	for i := 1; i < len(s.planes); {
+		others := make([]linalg.Vector, 0, len(s.planes)-1)
+		others = append(others, s.planes[:i]...)
+		others = append(others, s.planes[i+1:]...)
+		useful, err := linalg.PlaneUseful(s.planes[i], others, 1e-9)
+		if err != nil {
+			return removed, fmt.Errorf("bounds: compact: %w", err)
+		}
+		if useful {
+			i++
+			continue
+		}
+		s.planes = append(s.planes[:i], s.planes[i+1:]...)
+		s.uses = append(s.uses[:i], s.uses[i+1:]...)
+		removed++
+	}
+	return removed, nil
+}
+
+// AsValueFn adapts the set to the pomdp.ValueFn interface.
+func (s *Set) AsValueFn() pomdp.ValueFn {
+	return pomdp.ValueFunc(func(pi pomdp.Belief) float64 { return s.Value(pi) })
+}

@@ -1,0 +1,162 @@
+package bounds
+
+import (
+	"errors"
+	"testing"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+)
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet(0); err == nil {
+		t.Error("zero states accepted")
+	}
+	if _, err := NewSet(2, linalg.Vector{1}); err == nil {
+		t.Error("short base plane accepted")
+	}
+	if _, err := NewSet(1, linalg.Vector{1, 2}); err == nil {
+		t.Error("long base plane accepted")
+	}
+}
+
+func TestSetValueMaxOfHyperplanes(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{-2, 0}, linalg.Vector{0, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At π = (1, 0): plane 1 gives 0, plane 0 gives -2.
+	v, arg := s.ValueArg(pomdp.Belief{1, 0})
+	if v != 0 || arg != 1 {
+		t.Errorf("ValueArg = (%v, %d), want (0, 1)", v, arg)
+	}
+	// At π = (0.5, 0.5): both give -1.
+	if got := s.Value(pomdp.Belief{0.5, 0.5}); got != -1 {
+		t.Errorf("Value = %v, want -1", got)
+	}
+}
+
+func TestSetEmptyValue(t *testing.T) {
+	s, err := NewSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, arg := s.ValueArg(pomdp.Belief{1, 0})
+	if arg != -1 || v > -1e300 {
+		t.Errorf("empty set ValueArg = (%v, %d)", v, arg)
+	}
+}
+
+func TestSetAddDiscardsDominated(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := s.Add(linalg.Vector{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added || s.Size() != 1 {
+		t.Errorf("dominated plane kept: added=%v size=%d", added, s.Size())
+	}
+}
+
+func TestSetAddPrunesDominatedExisting(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{-10, -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(linalg.Vector{-5, -8}); err != nil {
+		t.Fatal(err)
+	}
+	// New plane dominates (-5,-8) but not the base.
+	if _, err := s.Add(linalg.Vector{-4, -7}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 2 {
+		t.Errorf("size = %d, want 2 (base + dominating plane)", s.Size())
+	}
+	// Base plane never pruned even when dominated.
+	if got := s.Plane(0); got[0] != -10 {
+		t.Errorf("base plane = %v", got)
+	}
+}
+
+func TestSetAddKeepsIncomparable(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{-2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := s.Add(linalg.Vector{0, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added || s.Size() != 2 {
+		t.Errorf("incomparable plane rejected: added=%v size=%d", added, s.Size())
+	}
+}
+
+func TestSetAddValidation(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(linalg.Vector{1}); err == nil {
+		t.Error("wrong-length plane accepted")
+	}
+}
+
+func TestSetCapacityEviction(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{-10, -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCapacity(3)
+	// Add two incomparable planes.
+	mustAdd := func(v linalg.Vector) {
+		t.Helper()
+		if _, err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(linalg.Vector{-1, -9})
+	mustAdd(linalg.Vector{-9, -1})
+	if s.Size() != 3 {
+		t.Fatalf("size = %d, want 3", s.Size())
+	}
+	// Touch plane 1 so plane 2 is the least used.
+	s.Value(pomdp.Belief{1, 0}) // maximized by plane 1 (-1)
+	mustAdd(linalg.Vector{-5, -5})
+	if s.Size() != 3 {
+		t.Errorf("size after eviction = %d, want 3", s.Size())
+	}
+	// Plane (-9,-1) (least used) must be gone: value at (0,1) now comes
+	// from (-5,-5) giving -5, not -1.
+	if got := s.Value(pomdp.Belief{0, 1}); got != -5 {
+		t.Errorf("Value after eviction = %v, want -5", got)
+	}
+}
+
+func TestSetAsValueFn(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{-1, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := s.AsValueFn()
+	if got := fn.Value(pomdp.Belief{0.5, 0.5}); got != -2 {
+		t.Errorf("AsValueFn = %v, want -2", got)
+	}
+}
+
+func TestCheckConsistencyEmptySet(t *testing.T) {
+	mod := withNotification(t)
+	s, err := NewSet(mod.NumStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := pomdp.NewScratch(mod)
+	_, err = CheckConsistency(mod, sc, s, pomdp.UniformBelief(mod.NumStates()), Options{})
+	if !errors.Is(err, ErrEmptySet) {
+		t.Errorf("err = %v, want ErrEmptySet", err)
+	}
+}

@@ -1,0 +1,182 @@
+package bounds
+
+import (
+	"testing"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func TestNewUpdaterValidation(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUpdater(mod, set, Options{Beta: 2}); err == nil {
+		t.Error("beta=2 accepted")
+	}
+	empty, err := NewSet(mod.NumStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUpdater(mod, empty, Options{}); err == nil {
+		t.Error("empty set accepted")
+	}
+	wrong, err := NewSet(2, linalg.Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUpdater(mod, wrong, Options{}); err == nil {
+		t.Error("wrong-dimension set accepted")
+	}
+}
+
+func TestUpdateAtNeverDecreasesBound(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 40; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		res, err := u.UpdateAt(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.After < res.Before-1e-9 {
+			t.Errorf("trial %d: bound decreased %v -> %v", trial, res.Before, res.After)
+		}
+		if res.Action < 0 || res.Action >= mod.NumActions() {
+			t.Errorf("trial %d: bad action %d", trial, res.Action)
+		}
+	}
+}
+
+func TestUpdateImprovesAtUniformBelief(t *testing.T) {
+	// The RA-Bound ignores observations entirely, so at least the first
+	// backed-up plane must strictly improve the bound at the uniform belief
+	// (Figure 5(a)'s rapid early tightening).
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := pomdp.UniformBelief(mod.NumStates())
+	var first, last float64
+	for i := 0; i < 15; i++ {
+		res, err := u.UpdateAt(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Before
+		}
+		last = res.After
+	}
+	if !(last > first+1e-6) {
+		t.Errorf("bound did not improve at uniform belief: %v -> %v", first, last)
+	}
+}
+
+func TestUpdatedBoundsRemainValidLowerBounds(t *testing.T) {
+	// After improvement, V_B must still lie below the L_p^k 0 iterates
+	// (which upper-bound the true value function for non-positive rewards).
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(21)
+	for i := 0; i < 20; i++ {
+		if _, err := u.UpdateAt(randomBelief(r, mod.NumStates())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 8; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		vb := set.Value(pi)
+		if upper := lpIterate(t, mod, pi, 3); vb > upper+1e-7 {
+			t.Errorf("trial %d: improved bound %v exceeds L_p^3 0 = %v", trial, vb, upper)
+		}
+		if vb > 0+1e-9 {
+			t.Errorf("trial %d: improved bound %v exceeds trivial upper bound 0", trial, vb)
+		}
+	}
+}
+
+func TestUpdatedBoundsStayConsistent(t *testing.T) {
+	// Property 1(b) should continue to hold after incremental updates on
+	// this model (the paper conjectures this for transformed recovery
+	// models and verifies it experimentally).
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(33)
+	for i := 0; i < 25; i++ {
+		if _, err := u.UpdateAt(randomBelief(r, mod.NumStates())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := pomdp.NewScratch(mod)
+	for trial := 0; trial < 15; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		rep, err := CheckConsistency(mod, sc, set, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Errorf("trial %d: consistency violated: V_B %v > L_p V_B %v", trial, rep.Bound, rep.Backup)
+		}
+	}
+}
+
+func TestUpdaterSetAccessor(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Set() != set {
+		t.Error("Set accessor does not return the underlying set")
+	}
+}
+
+func TestUpdateAtRejectsShortBelief(t *testing.T) {
+	mod, _ := withoutNotification(t)
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdater(mod, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.UpdateAt(pomdp.Belief{1}); err == nil {
+		t.Error("short belief accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package client is the typed HTTP client for the recovery service
+// (internal/server). Its Episode type implements controller.Controller, so
+// anything that can drive a local controller — including the
+// fault-injection simulator — can drive a remote recovery daemon
+// unchanged.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/server"
+)
+
+// Client talks to one recovery service.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:7947"). httpClient nil means http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy() error {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("client: healthz: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Model fetches the model summary.
+func (c *Client) Model() (server.ModelResponse, error) {
+	var out server.ModelResponse
+	err := c.do(http.MethodGet, "/v1/model", nil, &out)
+	return out, err
+}
+
+// StartEpisode opens a recovery episode and returns its driver.
+func (c *Client) StartEpisode() (*Episode, error) {
+	var out server.StartResponse
+	if err := c.do(http.MethodPost, "/v1/episodes", nil, &out); err != nil {
+		return nil, err
+	}
+	return &Episode{c: c, id: out.EpisodeID, open: true}, nil
+}
+
+// Episode drives one remote recovery episode. It implements
+// controller.Controller; Reset is a no-op (the server resets the episode's
+// controller when the episode is created).
+type Episode struct {
+	c    *Client
+	id   uint64
+	open bool
+}
+
+var _ controller.Controller = (*Episode)(nil)
+
+// ID returns the server-assigned episode id.
+func (e *Episode) ID() uint64 { return e.id }
+
+// Name implements controller.Controller.
+func (e *Episode) Name() string { return fmt.Sprintf("remote-episode-%d", e.id) }
+
+// Reset implements controller.Controller; the remote controller was reset
+// at episode creation, so a same-episode Reset is a no-op and re-use after
+// termination is an error.
+func (e *Episode) Reset(pomdp.Belief) error {
+	if !e.open {
+		return fmt.Errorf("client: episode %d is closed; start a new one", e.id)
+	}
+	return nil
+}
+
+// Decide implements controller.Controller.
+func (e *Episode) Decide() (controller.Decision, error) {
+	var out server.DecisionResponse
+	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/decision", e.id), nil, &out); err != nil {
+		return controller.Decision{}, err
+	}
+	if out.Terminate {
+		e.open = false
+	}
+	return controller.Decision{Action: out.Action, Terminate: out.Terminate, Value: out.Value}, nil
+}
+
+// Observe implements controller.Controller.
+func (e *Episode) Observe(action, obs int) error {
+	req := server.ObservationRequest{Action: action, Observation: obs}
+	return e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil)
+}
+
+// ObserveNamed reports an observation by name.
+func (e *Episode) ObserveNamed(action, obs string) error {
+	req := server.ObservationRequest{ActionName: action, ObservationName: obs}
+	return e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil)
+}
+
+// Belief implements controller.Controller by fetching the remote belief.
+func (e *Episode) Belief() pomdp.Belief {
+	var out server.BeliefResponse
+	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/belief", e.id), nil, &out); err != nil {
+		return nil
+	}
+	return pomdp.Belief(out.Belief)
+}
+
+// Abandon deletes the episode on the server.
+func (e *Episode) Abandon() error {
+	e.open = false
+	return e.c.do(http.MethodDelete, fmt.Sprintf("/v1/episodes/%d", e.id), nil, nil)
+}
+
+// do performs one JSON request/response round trip.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode >= 400 {
+		var apiErr server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decode %s %s: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	_ = body.Close()
+}

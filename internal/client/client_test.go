@@ -1,0 +1,164 @@
+package client
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/models"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/server"
+	"bpomdp/internal/sim"
+)
+
+// harness spins up an in-process recovery service over the two-server model
+// and returns a client plus the recovery model for simulation.
+func harness(t *testing.T) (*Client, *core.RecoveryModel) {
+	t.Helper()
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := &core.RecoveryModel{
+		POMDP:           ts.Model,
+		NullStates:      ts.NullStates,
+		RateRewards:     ts.RateRewards,
+		Durations:       []float64{1, 1, 0},
+		MonitorAction:   ts.ActionObserve,
+		MonitorDuration: 0.1,
+	}
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Bootstrap(10, controller.VariantAverage, 1, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Model: prep.Model,
+		NewController: func() (controller.Controller, pomdp.Belief, error) {
+			ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1})
+			if err != nil {
+				return nil, nil, err
+			}
+			initial, err := prep.InitialBelief()
+			return ctrl, initial, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	c, err := New(hs.URL, hs.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, rm
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", nil); err == nil {
+		t.Error("empty base URL accepted")
+	}
+}
+
+func TestHealthyAndModel(t *testing.T) {
+	c, _ := harness(t)
+	if err := c.Healthy(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.States) != 4 || len(m.Actions) != 4 {
+		t.Errorf("model summary %d states %d actions", len(m.States), len(m.Actions))
+	}
+	if m.States[0] != "null" || m.Actions[3] != pomdp.TerminateActionName {
+		t.Errorf("model names: %v / %v", m.States, m.Actions)
+	}
+}
+
+func TestEpisodeLifecycle(t *testing.T) {
+	c, _ := harness(t)
+	ep, err := c.StartEpisode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.ID() == 0 {
+		t.Error("zero episode id")
+	}
+	if err := ep.Reset(nil); err != nil {
+		t.Errorf("same-episode Reset should be a no-op: %v", err)
+	}
+	b := ep.Belief()
+	if !b.IsDistribution() {
+		t.Errorf("remote belief %v", b)
+	}
+	d, err := ep.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Terminate {
+		t.Fatal("terminated immediately from the uniform prior")
+	}
+	if err := ep.ObserveNamed("observe", "obs-a-failed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Reset(nil); err == nil {
+		t.Error("Reset after Abandon accepted")
+	}
+	if _, err := ep.Decide(); err == nil {
+		t.Error("decision on abandoned episode accepted")
+	}
+}
+
+// TestSimulatorDrivesRemoteDaemon is the headline integration test: the
+// fault-injection simulator runs entire recovery episodes against the HTTP
+// service through the client's Controller implementation — the exact loop a
+// production deployment would run, minus the network being loopback.
+func TestSimulatorDrivesRemoteDaemon(t *testing.T) {
+	c, rm := harness(t)
+	runner, err := sim.NewRunner(rm, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rng.New(17)
+	for i := 0; i < 5; i++ {
+		ep, err := c.StartEpisode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := root.SplitN("ep", i)
+		fault := 1 + stream.IntN(2)
+		res, err := runner.RunEpisode(ep, nil, fault, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Recovered {
+			t.Errorf("episode %d: remote controller terminated before recovery", i)
+		}
+		if res.MonitorCalls < 1 || res.Cost <= 0 {
+			t.Errorf("episode %d: implausible metrics %+v", i, res)
+		}
+	}
+}
+
+func TestObserveImpossibleObservation(t *testing.T) {
+	c, _ := harness(t)
+	ep, err := c.StartEpisode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The terminated observation can never follow an observe action from
+	// the initial belief (no mass on s_T).
+	if err := ep.ObserveNamed("observe", pomdp.TerminatedObsName); err == nil {
+		t.Error("impossible observation accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+)
+
+// AnytimeConfig configures an anytime bounded controller.
+type AnytimeConfig struct {
+	// Budget is the per-decision wall-clock budget. The controller always
+	// completes depth 1 (so a decision is always produced) and deepens the
+	// search while it projects the next depth to fit in the budget.
+	Budget time.Duration
+	// MaxDepth caps the expansion depth regardless of budget (0 means 4).
+	MaxDepth int
+	// Beta is the discount factor; zero means 1.
+	Beta float64
+	// TerminateAction is a_T's index, or -1 with recovery notification.
+	TerminateAction int
+	// NullStates is Sφ.
+	NullStates []int
+}
+
+// Anytime is a bounded controller that spends a wall-clock budget instead
+// of a fixed depth: it expands the branch-and-bound Max-Avg tree at
+// increasing depths until the next depth no longer fits, then acts on the
+// deepest completed expansion. Because the leaves are lower bounds, deeper
+// expansions only tighten the root value (never regress), so acting on the
+// deepest completed result is always safe — the classic anytime property,
+// here inherited from the paper's bound machinery.
+type Anytime struct {
+	beliefTracker
+	cfg     AnytimeConfig
+	engines []*PrunedEngine
+	nullSet []int
+	now     func() time.Time
+	// lastDepth records the deepest completed expansion of the most recent
+	// Decide (observability hook).
+	lastDepth int
+}
+
+var _ Controller = (*Anytime)(nil)
+
+// NewAnytime builds an anytime controller over the transformed model p,
+// using set for leaf lower bounds and upper as the branch-and-bound pruning
+// bound (typically bounds.QMDP).
+func NewAnytime(p *pomdp.POMDP, set *bounds.Set, upper linalg.Vector, cfg AnytimeConfig) (*Anytime, error) {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 4
+	}
+	if cfg.MaxDepth < 1 {
+		return nil, fmt.Errorf("controller: max depth %d < 1", cfg.MaxDepth)
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("controller: non-positive budget %v", cfg.Budget)
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 1
+	}
+	if set == nil || set.Size() == 0 {
+		return nil, fmt.Errorf("controller: anytime controller needs a non-empty bound set")
+	}
+	if cfg.TerminateAction >= p.NumActions() {
+		return nil, fmt.Errorf("controller: terminate action %d out of range", cfg.TerminateAction)
+	}
+	if cfg.TerminateAction < 0 && len(cfg.NullStates) == 0 {
+		return nil, fmt.Errorf("controller: recovery-notification regime needs NullStates")
+	}
+	a := &Anytime{
+		beliefTracker: newBeliefTracker(p),
+		cfg:           cfg,
+		nullSet:       pomdp.SortedStates(cfg.NullStates),
+		now:           time.Now,
+	}
+	for d := 1; d <= cfg.MaxDepth; d++ {
+		e, err := NewPrunedEngine(p, d, cfg.Beta, set.AsValueFn(), upper)
+		if err != nil {
+			return nil, err
+		}
+		a.engines = append(a.engines, e)
+	}
+	return a, nil
+}
+
+// Name implements Controller.
+func (a *Anytime) Name() string {
+	return fmt.Sprintf("anytime(budget=%v,maxDepth=%d)", a.cfg.Budget, a.cfg.MaxDepth)
+}
+
+// Decide implements Controller: iterative deepening under the budget.
+func (a *Anytime) Decide() (Decision, error) {
+	if a.belief == nil {
+		return Decision{}, ErrNotReset
+	}
+	const certainty = 1 - 1e-9
+	if a.cfg.TerminateAction < 0 && a.belief.Mass(a.nullSet) >= certainty {
+		return Decision{Terminate: true}, nil
+	}
+	start := a.now()
+	var (
+		best      pomdp.BackupResult
+		lastCost  time.Duration
+		completed int
+	)
+	for i, engine := range a.engines {
+		depthStart := a.now()
+		res, _, err := engine.Choose(a.belief)
+		if err != nil {
+			return Decision{}, err
+		}
+		best = res
+		completed = i + 1
+		lastCost = a.now().Sub(depthStart)
+		elapsed := a.now().Sub(start)
+		// Project the next depth at the observed growth factor; stop when
+		// it would blow the budget. Branching multiplies cost by roughly
+		// |A|·|O_reachable| per extra level; 8× is a conservative floor for
+		// the models here.
+		const growth = 8
+		if elapsed+growth*lastCost > a.cfg.Budget {
+			break
+		}
+	}
+	a.lastDepth = completed
+	d := Decision{Action: best.Action, Value: best.Value}
+	if a.cfg.TerminateAction >= 0 &&
+		(best.Action == a.cfg.TerminateAction || best.QValues[a.cfg.TerminateAction] >= best.Value-1e-9) {
+		d.Action = a.cfg.TerminateAction
+		d.Terminate = true
+	}
+	return d, nil
+}
+
+// LastDepth reports how deep the most recent Decide expanded (test hook).
+func (a *Anytime) LastDepth() int { return a.lastDepth }

@@ -1,0 +1,110 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func newAnytime(t *testing.T, f *fixture, budget time.Duration, maxDepth int) *Anytime {
+	t.Helper()
+	upper, err := bounds.QMDP(f.term, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnytime(f.term, f.set, upper, AnytimeConfig{
+		Budget:          budget,
+		MaxDepth:        maxDepth,
+		TerminateAction: f.idx.Action,
+		NullStates:      []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAnytimeValidation(t *testing.T) {
+	f := newFixture(t)
+	upper, err := bounds.QMDP(f.term, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAnytime(f.term, f.set, upper, AnytimeConfig{Budget: 0, TerminateAction: f.idx.Action}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewAnytime(f.term, f.set, upper, AnytimeConfig{Budget: time.Second, MaxDepth: -1, TerminateAction: f.idx.Action}); err == nil {
+		t.Error("negative max depth accepted")
+	}
+	if _, err := NewAnytime(f.term, nil, upper, AnytimeConfig{Budget: time.Second, TerminateAction: f.idx.Action}); err == nil {
+		t.Error("nil set accepted")
+	}
+	if _, err := NewAnytime(f.term, f.set, linalg.Vector{0}, AnytimeConfig{Budget: time.Second, TerminateAction: f.idx.Action}); err == nil {
+		t.Error("short upper bound accepted")
+	}
+	if _, err := NewAnytime(f.term, f.set, upper, AnytimeConfig{Budget: time.Second, TerminateAction: -1}); err == nil {
+		t.Error("notification regime without NullStates accepted")
+	}
+}
+
+func TestAnytimeGenerousBudgetReachesMaxDepth(t *testing.T) {
+	f := newFixture(t)
+	a := newAnytime(t, f, 10*time.Second, 3)
+	if err := a.Reset(pomdp.UniformBelief(f.term.NumStates())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LastDepth() != 3 {
+		t.Errorf("depth = %d, want 3 with a generous budget", a.LastDepth())
+	}
+}
+
+func TestAnytimeTinyBudgetStopsEarly(t *testing.T) {
+	f := newFixture(t)
+	a := newAnytime(t, f, time.Nanosecond, 3)
+	if err := a.Reset(pomdp.UniformBelief(f.term.NumStates())); err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LastDepth() != 1 {
+		t.Errorf("depth = %d, want 1 under a 1ns budget", a.LastDepth())
+	}
+	if d.Action < 0 && !d.Terminate {
+		t.Error("no decision produced")
+	}
+}
+
+func TestAnytimeRequiresReset(t *testing.T) {
+	f := newFixture(t)
+	a := newAnytime(t, f, time.Second, 2)
+	if _, err := a.Decide(); err == nil {
+		t.Error("Decide before Reset accepted")
+	}
+}
+
+func TestAnytimeRecoversAndTerminates(t *testing.T) {
+	f := newFixture(t)
+	a := newAnytime(t, f, 50*time.Millisecond, 2)
+	root := rng.New(404)
+	initial, err := pomdp.UniformOver(f.term.NumStates(), []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 15; ep++ {
+		stream := root.SplitN("ep", ep)
+		trueState := 1 + stream.IntN(2)
+		rec, _ := episode(t, f.term, a, initial, trueState, stream, 200)
+		if !rec {
+			t.Errorf("episode %d: anytime controller terminated unrecovered", ep)
+		}
+	}
+}

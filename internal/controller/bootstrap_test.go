@@ -1,0 +1,169 @@
+package controller
+
+import (
+	"testing"
+
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func newBootstrapper(t *testing.T, f *fixture, variant BootstrapVariant, seed uint64) *Bootstrapper {
+	t.Helper()
+	set, err := bounds.RASet(f.term, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBootstrapper(f.term, set, BootstrapConfig{
+		Variant:                  variant,
+		Depth:                    1,
+		FaultStates:              []int{1, 2},
+		NullStates:               []int{0},
+		TerminateAction:          f.idx.Action,
+		InitialObservationAction: 2, // observe
+	}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBootstrapperValidation(t *testing.T) {
+	f := newFixture(t)
+	set, err := bounds.RASet(f.term, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := BootstrapConfig{
+		Variant: VariantRandom, FaultStates: []int{1, 2}, NullStates: []int{0},
+		TerminateAction: f.idx.Action, InitialObservationAction: 2,
+	}
+	bad := base
+	bad.Variant = 0
+	if _, err := NewBootstrapper(f.term, set, bad, rng.New(1)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	bad = base
+	bad.FaultStates = nil
+	if _, err := NewBootstrapper(f.term, set, bad, rng.New(1)); err == nil {
+		t.Error("empty fault states accepted")
+	}
+	bad = base
+	bad.FaultStates = []int{99}
+	if _, err := NewBootstrapper(f.term, set, bad, rng.New(1)); err == nil {
+		t.Error("out-of-range fault state accepted")
+	}
+	bad = base
+	bad.InitialObservationAction = 99
+	if _, err := NewBootstrapper(f.term, set, bad, rng.New(1)); err == nil {
+		t.Error("out-of-range initial observation action accepted")
+	}
+	if _, err := NewBootstrapper(f.term, set, base, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestBootstrapImprovesBoundMonotonically(t *testing.T) {
+	for _, variant := range []BootstrapVariant{VariantRandom, VariantAverage} {
+		t.Run(variant.String(), func(t *testing.T) {
+			f := newFixture(t)
+			b := newBootstrapper(t, f, variant, 42)
+			stats, err := b.Run(20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats) != 20 {
+				t.Fatalf("got %d iterations", len(stats))
+			}
+			prev := -1e18
+			totalSteps := 0
+			for i, st := range stats {
+				if st.Iteration != i+1 {
+					t.Errorf("iteration numbering: %d at index %d", st.Iteration, i)
+				}
+				if st.BoundAtUniform < prev-1e-9 {
+					t.Errorf("iteration %d: bound decreased %v -> %v", st.Iteration, prev, st.BoundAtUniform)
+				}
+				prev = st.BoundAtUniform
+				totalSteps += st.Steps
+				// Each update step adds at most one hyperplane (linear
+				// growth at worst, as in Figure 5(b)); an extra update may
+				// run on the step the terminate decision was made.
+				if st.Vectors < 1 || st.Vectors > 1+totalSteps+st.Iteration {
+					t.Errorf("iteration %d: %d vectors for %d cumulative steps", st.Iteration, st.Vectors, totalSteps)
+				}
+			}
+			// Figure 5(a): the bound must actually tighten vs the plain RA
+			// value.
+			if !(stats[len(stats)-1].BoundAtUniform > stats[0].BoundAtUniform-1e-12) {
+				t.Errorf("no improvement: first %v last %v", stats[0].BoundAtUniform, stats[len(stats)-1].BoundAtUniform)
+			}
+		})
+	}
+}
+
+func TestBootstrapVectorsGrowAtMostLinearly(t *testing.T) {
+	// Each update adds at most one hyperplane, so after k episodes of at
+	// most MaxSteps updates the set holds at most 1 + k·MaxSteps planes;
+	// per-iteration growth must be bounded by the steps taken.
+	f := newFixture(t)
+	b := newBootstrapper(t, f, VariantRandom, 7)
+	prevVectors := b.Set().Size()
+	for i := 0; i < 10; i++ {
+		st, err := b.Iterate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if growth := st.Vectors - prevVectors; growth > st.Steps+1 {
+			t.Errorf("iteration %d: vector growth %d exceeds steps+1 %d", st.Iteration, growth, st.Steps+1)
+		}
+		prevVectors = st.Vectors
+	}
+}
+
+func TestBootstrapImprovedSetStillValid(t *testing.T) {
+	// After bootstrapping, the improved set must still satisfy Property
+	// 1(b) at random beliefs and stay below the trivial upper bound.
+	f := newFixture(t)
+	b := newBootstrapper(t, f, VariantAverage, 11)
+	if _, err := b.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	set := b.Set()
+	sc := pomdp.NewScratch(f.term)
+	r := rng.New(13)
+	for trial := 0; trial < 10; trial++ {
+		pi := make(pomdp.Belief, f.term.NumStates())
+		for i := range pi {
+			pi[i] = r.Float64()
+		}
+		if !pi.Vec().Normalize() {
+			continue
+		}
+		rep, err := bounds.CheckConsistency(f.term, sc, set, pi, bounds.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Errorf("trial %d: Property 1(b) violated after bootstrap", trial)
+		}
+		if v := set.Value(pi); v > 1e-9 {
+			t.Errorf("trial %d: bound %v above trivial upper bound 0", trial, v)
+		}
+	}
+}
+
+func TestBootstrapReferenceBeliefExcludesTerminatedState(t *testing.T) {
+	f := newFixture(t)
+	b := newBootstrapper(t, f, VariantAverage, 3)
+	ref := b.ReferenceBelief()
+	if len(ref) != f.term.NumStates() {
+		t.Fatalf("reference belief length %d", len(ref))
+	}
+	if ref[f.idx.State] != 0 {
+		t.Errorf("reference belief assigns %v to s_T", ref[f.idx.State])
+	}
+	if !ref.IsDistribution() {
+		t.Errorf("reference belief not a distribution: %v", ref)
+	}
+}

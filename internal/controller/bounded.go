@@ -1,0 +1,147 @@
+package controller
+
+import (
+	"fmt"
+
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/pomdp"
+)
+
+// BoundedConfig configures a bounded controller.
+type BoundedConfig struct {
+	// Depth is the Max-Avg tree expansion depth (≥ 1). The paper's
+	// evaluation uses depth 1 for the bounded controller.
+	Depth int
+	// Beta is the discount factor; zero means 1 (undiscounted).
+	Beta float64
+	// TerminateAction is the index of a_T in the model, or -1 when the
+	// system has recovery notification and the model has no terminate
+	// action.
+	TerminateAction int
+	// NullStates is Sφ. With recovery notification (TerminateAction < 0)
+	// the controller terminates once the belief is certain the system is in
+	// Sφ; it is also used for diagnostics.
+	NullStates []int
+	// ImproveOnline, when true, runs one incremental bound update at every
+	// belief the controller visits during real recovery ("those
+	// belief-states that are naturally generated during the course of
+	// system recovery", §4.1).
+	ImproveOnline bool
+	// CheckConsistency, when true, verifies Property 1(b) (V_B ≤ L_p V_B)
+	// at every visited belief and fails loudly on violation. Intended for
+	// tests and audits; adds one extra backup per step.
+	CheckConsistency bool
+}
+
+// Bounded is the paper's bounded recovery controller: a finite-depth
+// Max-Avg expansion with a lower-bound hyperplane set at the leaves. With
+// Property 1's preconditions (no free actions; V_B ≤ L_p V_B) it terminates
+// with probability 1 and its expected cost is bounded by the bound itself.
+type Bounded struct {
+	beliefTracker
+	cfg     BoundedConfig
+	engine  *Engine
+	set     *bounds.Set
+	updater *bounds.Updater
+	nullSet []int
+}
+
+var _ Controller = (*Bounded)(nil)
+
+// NewBounded builds a bounded controller over the (already transformed)
+// model p using the hyperplane set as the leaf bound. The set is used (and,
+// with ImproveOnline, refined) in place — share it with a Bootstrapper to
+// reuse bootstrap improvements.
+func NewBounded(p *pomdp.POMDP, set *bounds.Set, cfg BoundedConfig) (*Bounded, error) {
+	if cfg.Depth == 0 {
+		cfg.Depth = 1
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 1
+	}
+	if set == nil || set.Size() == 0 {
+		return nil, fmt.Errorf("controller: bounded controller needs a non-empty bound set (compute the RA-Bound first)")
+	}
+	if set.NumStates() != p.NumStates() {
+		return nil, fmt.Errorf("controller: bound set over %d states, model has %d", set.NumStates(), p.NumStates())
+	}
+	if cfg.TerminateAction >= p.NumActions() {
+		return nil, fmt.Errorf("controller: terminate action %d out of range", cfg.TerminateAction)
+	}
+	if cfg.TerminateAction < 0 && len(cfg.NullStates) == 0 {
+		return nil, fmt.Errorf("controller: recovery-notification regime needs NullStates to detect completion")
+	}
+	engine, err := NewEngine(p, cfg.Depth, cfg.Beta, set.AsValueFn())
+	if err != nil {
+		return nil, err
+	}
+	b := &Bounded{
+		beliefTracker: newBeliefTracker(p),
+		cfg:           cfg,
+		engine:        engine,
+		set:           set,
+		nullSet:       pomdp.SortedStates(cfg.NullStates),
+	}
+	if cfg.ImproveOnline {
+		u, err := bounds.NewUpdater(p, set, bounds.Options{Beta: cfg.Beta})
+		if err != nil {
+			return nil, err
+		}
+		b.updater = u
+	}
+	return b, nil
+}
+
+// Name implements Controller.
+func (b *Bounded) Name() string {
+	return fmt.Sprintf("bounded(depth=%d)", b.cfg.Depth)
+}
+
+// Set returns the hyperplane set used at the leaves.
+func (b *Bounded) Set() *bounds.Set { return b.set }
+
+// Decide implements Controller. It expands the Max-Avg tree at the current
+// belief and returns the maximizing action; choosing a_T (or, with recovery
+// notification, certainty of Sφ) terminates the episode.
+func (b *Bounded) Decide() (Decision, error) {
+	if b.belief == nil {
+		return Decision{}, ErrNotReset
+	}
+	if b.cfg.CheckConsistency {
+		rep, err := bounds.CheckConsistency(b.p, b.sc, b.set, b.belief, bounds.Options{Beta: b.cfg.Beta})
+		if err != nil {
+			return Decision{}, err
+		}
+		if !rep.OK {
+			return Decision{}, fmt.Errorf("controller: Property 1(b) violated at belief %v: V_B=%v > L_pV_B=%v",
+				b.belief, rep.Bound, rep.Backup)
+		}
+	}
+	if b.updater != nil {
+		if _, err := b.updater.UpdateAt(b.belief); err != nil {
+			return Decision{}, fmt.Errorf("controller: online bound update: %w", err)
+		}
+	}
+	// Recovery-notification regime: stop as soon as the belief certifies Sφ.
+	const certainty = 1 - 1e-9
+	if b.cfg.TerminateAction < 0 && b.belief.Mass(b.nullSet) >= certainty {
+		return Decision{Terminate: true, Value: 0}, nil
+	}
+	res, err := b.engine.Choose(b.belief)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{Action: res.Action, Value: res.Value}
+	// Tie-break toward a_T: Property 1(a) demands no free actions outside
+	// s_T, but real models often have a zero-cost passive action at the Sφ
+	// vertex (monitoring a healthy system drops no requests). At that vertex
+	// Q(a_T) ties the maximum and a plain argmax can loop on the free action
+	// forever; terminating on a tie costs nothing by the controller's own
+	// estimate and restores the termination guarantee.
+	if b.cfg.TerminateAction >= 0 &&
+		(res.Action == b.cfg.TerminateAction || res.QValues[b.cfg.TerminateAction] >= res.Value-1e-9) {
+		d.Action = b.cfg.TerminateAction
+		d.Terminate = true
+	}
+	return d, nil
+}

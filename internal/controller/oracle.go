@@ -1,0 +1,115 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"bpomdp/internal/pomdp"
+)
+
+// Oracle is the paper's hypothetical ideal controller: it knows the fault
+// in the system and always recovers from it with a single (cheapest
+// successful) action. It represents the unattainable lower envelope in
+// Table 1 and requires the simulator to feed it the true state via
+// ObserveTrueState.
+type Oracle struct {
+	p         *pomdp.POMDP
+	nullSet   []bool
+	actionFor []int
+	trueState int
+	ready     bool
+}
+
+var (
+	_ Controller = (*Oracle)(nil)
+	_ StateAware = (*Oracle)(nil)
+)
+
+// NewOracle builds the oracle over the untransformed recovery model. For
+// every fault state it precomputes the cheapest action that reaches Sφ with
+// probability 1; models in which some fault has no such action are rejected
+// (the oracle's single-action guarantee would not hold).
+func NewOracle(p *pomdp.POMDP, nullStates []int) (*Oracle, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumStates()
+	o := &Oracle{p: p, nullSet: make([]bool, n), trueState: -1}
+	for _, s := range nullStates {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("controller: null state %d out of range [0,%d)", s, n)
+		}
+		o.nullSet[s] = true
+	}
+	o.actionFor = make([]int, n)
+	for s := 0; s < n; s++ {
+		if o.nullSet[s] {
+			o.actionFor[s] = -1
+			continue
+		}
+		bestA, bestCost := -1, math.Inf(-1)
+		for a := 0; a < p.NumActions(); a++ {
+			var pNull float64
+			p.M.Trans[a].Row(s, func(c int, v float64) {
+				if o.nullSet[c] {
+					pNull += v
+				}
+			})
+			if pNull >= 1-1e-12 {
+				if cost := p.M.Reward[a][s]; cost > bestCost {
+					bestA, bestCost = a, cost
+				}
+			}
+		}
+		if bestA < 0 {
+			return nil, fmt.Errorf("controller: oracle: no action recovers state %s in one step", p.M.StateName(s))
+		}
+		o.actionFor[s] = bestA
+	}
+	return o, nil
+}
+
+// Name implements Controller.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Reset implements Controller. The oracle ignores the belief.
+func (o *Oracle) Reset(pomdp.Belief) error {
+	o.ready = true
+	o.trueState = -1
+	return nil
+}
+
+// ObserveTrueState implements StateAware.
+func (o *Oracle) ObserveTrueState(s int) { o.trueState = s }
+
+// Decide implements Controller.
+func (o *Oracle) Decide() (Decision, error) {
+	if !o.ready {
+		return Decision{}, ErrNotReset
+	}
+	if o.trueState < 0 {
+		return Decision{}, fmt.Errorf("controller: oracle was not fed the true state")
+	}
+	if o.nullSet[o.trueState] {
+		return Decision{Terminate: true}, nil
+	}
+	return Decision{Action: o.actionFor[o.trueState]}, nil
+}
+
+// Observe implements Controller; the oracle has nothing to learn from
+// monitor outputs.
+func (o *Oracle) Observe(int, int) error {
+	if !o.ready {
+		return ErrNotReset
+	}
+	return nil
+}
+
+// Belief implements Controller; the oracle holds no belief and returns a
+// point mass on the true state when known.
+func (o *Oracle) Belief() pomdp.Belief {
+	if o.trueState < 0 {
+		return nil
+	}
+	return pomdp.PointBelief(o.p.NumStates(), o.trueState)
+}

@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"testing"
+
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func prunedFixture(t *testing.T, depth int) (*Engine, *PrunedEngine, *fixture) {
+	t.Helper()
+	f := newFixture(t)
+	full, err := NewEngine(f.term, depth, 1, f.set.AsValueFn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := bounds.QMDP(f.term, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := NewPrunedEngine(f.term, depth, 1, f.set.AsValueFn(), upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full, pruned, f
+}
+
+func TestNewPrunedEngineValidation(t *testing.T) {
+	f := newFixture(t)
+	upper, err := bounds.QMDP(f.term, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := f.set.AsValueFn()
+	if _, err := NewPrunedEngine(f.term, 0, 1, leaf, upper); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := NewPrunedEngine(f.term, 1, 2, leaf, upper); err == nil {
+		t.Error("beta 2 accepted")
+	}
+	if _, err := NewPrunedEngine(f.term, 1, 1, nil, upper); err == nil {
+		t.Error("nil lower accepted")
+	}
+	if _, err := NewPrunedEngine(f.term, 1, 1, leaf, upper[:1]); err == nil {
+		t.Error("short upper accepted")
+	}
+}
+
+func TestPrunedEngineMatchesFullExpansion(t *testing.T) {
+	for _, depth := range []int{1, 2} {
+		full, pruned, f := prunedFixture(t, depth)
+		r := rng.New(uint64(40 + depth))
+		for trial := 0; trial < 25; trial++ {
+			pi := make(pomdp.Belief, f.term.NumStates())
+			for i := range pi {
+				pi[i] = r.Float64()
+			}
+			if !pi.Vec().Normalize() {
+				continue
+			}
+			want, err := full.Choose(pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, prunedMask, err := pruned.Choose(pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got.Value, want.Value, 1e-9) {
+				t.Errorf("depth %d trial %d: pruned value %v != full %v", depth, trial, got.Value, want.Value)
+			}
+			// The chosen action must be maximal in the full expansion too
+			// (it may differ from want.Action only by an exact tie).
+			if !almostEqual(want.QValues[got.Action], want.Value, 1e-9) {
+				t.Errorf("depth %d trial %d: pruned picked non-maximal action %d", depth, trial, got.Action)
+			}
+			if prunedMask[got.Action] {
+				t.Errorf("depth %d trial %d: chosen action marked pruned", depth, trial)
+			}
+		}
+	}
+}
+
+func TestPrunedEngineActuallyPrunes(t *testing.T) {
+	_, pruned, f := prunedFixture(t, 2)
+	pi := pomdp.UniformBelief(f.term.NumStates())
+	if _, err := pruned.Value(pi); err != nil {
+		t.Fatal(err)
+	}
+	nodes, cut := pruned.Stats()
+	if cut == 0 {
+		t.Errorf("no pruning happened (nodes=%d)", nodes)
+	}
+	if nodes == 0 {
+		t.Error("no nodes evaluated")
+	}
+	t.Logf("depth-2 expansion: %d nodes evaluated, %d pruned (%.0f%%)",
+		nodes, cut, 100*float64(cut)/float64(nodes+cut))
+}
+
+func TestPrunedEngineRejectsShortBelief(t *testing.T) {
+	_, pruned, _ := prunedFixture(t, 1)
+	if _, _, err := pruned.Choose(pomdp.Belief{1}); err == nil {
+		t.Error("short belief accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/models"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func twoServerModel(t *testing.T, coverage, fp float64) *RecoveryModel {
+	t.Helper()
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: coverage, FalsePositive: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &RecoveryModel{
+		POMDP:         ts.Model,
+		NullStates:    ts.NullStates,
+		RateRewards:   ts.RateRewards,
+		Durations:     []float64{1, 1, 0.1},
+		MonitorAction: ts.ActionObserve,
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := twoServerModel(t, 0.9, 0.05).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCondition1(t *testing.T) {
+	m := twoServerModel(t, 0.9, 0.05)
+	m.NullStates = nil
+	if err := m.Validate(); !errors.Is(err, ErrCondition1) {
+		t.Errorf("empty Sφ: %v", err)
+	}
+
+	// Build a model with an unrecoverable trap state.
+	b := pomdp.NewBuilder()
+	b.Transition("null", "go", "null", 1)
+	b.Transition("trap", "go", "trap", 1)
+	b.Reward("trap", "go", -1)
+	b.Observe("null", "go", "o", 1)
+	b.Observe("trap", "go", "o", 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := &RecoveryModel{
+		POMDP: p, NullStates: []int{0},
+		RateRewards: linalg.Vector{0, -1}, Durations: []float64{1}, MonitorAction: 0,
+	}
+	if err := m2.Validate(); !errors.Is(err, ErrCondition1) {
+		t.Errorf("trap state: %v", err)
+	}
+}
+
+func TestValidateCondition2(t *testing.T) {
+	m := twoServerModel(t, 0.9, 0.05)
+	m.POMDP.M.Reward[0][1] = 0.5
+	if err := m.Validate(); !errors.Is(err, ErrCondition2) {
+		t.Errorf("positive reward: %v", err)
+	}
+
+	m2 := twoServerModel(t, 0.9, 0.05)
+	m2.RateRewards = linalg.Vector{0, 0.5, -0.5}
+	if err := m2.Validate(); !errors.Is(err, ErrCondition2) {
+		t.Errorf("positive rate: %v", err)
+	}
+}
+
+func TestValidateShapeErrors(t *testing.T) {
+	m := twoServerModel(t, 0.9, 0.05)
+	m.Durations = []float64{1}
+	if err := m.Validate(); err == nil {
+		t.Error("short durations accepted")
+	}
+	m = twoServerModel(t, 0.9, 0.05)
+	m.Durations = []float64{1, 1, -2}
+	if err := m.Validate(); err == nil {
+		t.Error("negative duration accepted")
+	}
+	m = twoServerModel(t, 0.9, 0.05)
+	m.MonitorAction = 99
+	if err := m.Validate(); err == nil {
+		t.Error("bad monitor action accepted")
+	}
+	m = twoServerModel(t, 0.9, 0.05)
+	m.RateRewards = linalg.Vector{0}
+	if err := m.Validate(); err == nil {
+		t.Error("short rate rewards accepted")
+	}
+	m = twoServerModel(t, 0.9, 0.05)
+	m.NullStates = []int{42}
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-range null state accepted")
+	}
+	if err := (&RecoveryModel{}).Validate(); err == nil {
+		t.Error("nil POMDP accepted")
+	}
+}
+
+func TestFaultStatesAndFreeActions(t *testing.T) {
+	m := twoServerModel(t, 0.9, 0.05)
+	fs := m.FaultStates()
+	if len(fs) != 2 || fs[0] != 1 || fs[1] != 2 {
+		t.Errorf("FaultStates = %v", fs)
+	}
+	// The two-server model has no free actions in fault states (observe
+	// costs 0.5 there); the only zero rewards are in Sφ.
+	if free := m.FreeActions(); len(free) != 0 {
+		t.Errorf("FreeActions = %v, want none", free)
+	}
+	// Zero out one fault action reward to create a violation.
+	m.POMDP.M.Reward[2][1] = 0
+	free := m.FreeActions()
+	if len(free) != 1 || free[0].State != 1 || free[0].Action != 2 {
+		t.Errorf("FreeActions = %v", free)
+	}
+}
+
+func TestPrepareAutoDetectsRegime(t *testing.T) {
+	noisy := twoServerModel(t, 0.9, 0.05)
+	prep, err := Prepare(noisy, PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Regime != RegimeTermination {
+		t.Errorf("noisy model regime = %v, want termination", prep.Regime)
+	}
+	if prep.Terminate.Action < 0 {
+		t.Error("termination indices missing")
+	}
+	if prep.Model.NumStates() != 4 {
+		t.Errorf("transformed states = %d, want 4", prep.Model.NumStates())
+	}
+
+	perfect := twoServerModel(t, 1, 0)
+	prep2, err := Prepare(perfect, PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep2.Regime != RegimeNotification {
+		t.Errorf("perfect model regime = %v, want notification", prep2.Regime)
+	}
+	if prep2.Terminate.Action != -1 {
+		t.Errorf("notification regime has terminate action %d", prep2.Terminate.Action)
+	}
+	if prep2.Model.NumStates() != 3 {
+		t.Errorf("transformed states = %d, want 3", prep2.Model.NumStates())
+	}
+}
+
+func TestPrepareRegimeOverride(t *testing.T) {
+	// Force the termination transform onto a model with notification.
+	perfect := twoServerModel(t, 1, 0)
+	prep, err := Prepare(perfect, PrepareOptions{
+		ForceRegime:          RegimeTermination,
+		OperatorResponseTime: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Regime != RegimeTermination || prep.Terminate.Action < 0 {
+		t.Errorf("override failed: %v / %+v", prep.Regime, prep.Terminate)
+	}
+}
+
+func TestPrepareRequiresTop(t *testing.T) {
+	noisy := twoServerModel(t, 0.9, 0.05)
+	if _, err := Prepare(noisy, PrepareOptions{}); err == nil {
+		t.Error("termination regime without t_op accepted")
+	}
+}
+
+func TestPrepareRAValues(t *testing.T) {
+	// Same closed forms as the bounds tests: [-1, -4, -4, 0] with t_op=10.
+	noisy := twoServerModel(t, 0.9, 0.05)
+	prep, err := Prepare(noisy, PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, -4, -4, 0}
+	for s, w := range want {
+		if d := prep.RA[s] - w; d > 1e-6 || d < -1e-6 {
+			t.Errorf("RA[%d] = %v, want %v", s, prep.RA[s], w)
+		}
+	}
+	if prep.Set.Size() != 1 {
+		t.Errorf("initial set size = %d, want 1", prep.Set.Size())
+	}
+}
+
+func TestPreparedPipelineEndToEnd(t *testing.T) {
+	noisy := twoServerModel(t, 0.9, 0.05)
+	prep, err := Prepare(noisy, PrepareOptions{OperatorResponseTime: 10, BoundCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := prep.Bootstrap(5, controller.VariantAverage, 1, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 5 {
+		t.Fatalf("bootstrap iterations = %d", len(stats))
+	}
+	ctrl, err := prep.NewController(ControllerConfig{Depth: 1, CheckConsistency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := prep.InitialBelief()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial[prep.Terminate.State] != 0 {
+		t.Errorf("initial belief has mass on s_T")
+	}
+	if err := ctrl.Reset(initial); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Decide(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if RegimeNotification.String() == "" || RegimeTermination.String() == "" || Regime(9).String() == "" {
+		t.Error("empty regime strings")
+	}
+}

@@ -1,0 +1,237 @@
+package emn
+
+import (
+	"math"
+	"testing"
+
+	"bpomdp/internal/arch"
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/core"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func build(t *testing.T) *arch.Compiled {
+	t.Helper()
+	c, err := Build(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEMNShapeMatchesPaper(t *testing.T) {
+	c := build(t)
+	p := c.Recovery.POMDP
+	// 14 states: null + 5 crashes + 3 host crashes + 5 zombies.
+	if got := p.NumStates(); got != 14 {
+		t.Errorf("states = %d, want 14", got)
+	}
+	// 9 actions: 5 restarts + 3 reboots + observe.
+	if got := p.NumActions(); got != 9 {
+		t.Errorf("actions = %d, want 9", got)
+	}
+	if len(c.CrashStates) != 5 || len(c.HostStates) != 3 || len(c.ZombieStates) != 5 {
+		t.Errorf("fault classes = %d/%d/%d, want 5/3/5",
+			len(c.CrashStates), len(c.HostStates), len(c.ZombieStates))
+	}
+	if len(c.MonitorNames) != 7 {
+		t.Errorf("monitors = %v, want 7", c.MonitorNames)
+	}
+}
+
+func TestEMNDurations(t *testing.T) {
+	c := build(t)
+	want := map[string]float64{
+		"restart:HG": 60, "restart:VG": 120, "restart:S1": 60,
+		"restart:S2": 60, "restart:DB": 240,
+		"reboot:HostA": 300, "reboot:HostB": 300, "reboot:HostC": 300,
+		"observe": 0,
+	}
+	for name, d := range want {
+		a, ok := c.ActionIndex[name]
+		if !ok {
+			t.Fatalf("action %q missing", name)
+		}
+		if got := c.Recovery.Durations[a]; got != d {
+			t.Errorf("duration(%s) = %v, want %v", name, got, d)
+		}
+	}
+	if c.MonitorDuration != 5 {
+		t.Errorf("monitor duration = %v, want 5", c.MonitorDuration)
+	}
+}
+
+func TestEMNDropRates(t *testing.T) {
+	c := build(t)
+	r := c.Recovery.RateRewards
+	st := c.StateIndex
+	tests := []struct {
+		state string
+		want  float64
+	}{
+		{"null", 0},
+		// HG down: all HTTP (0.8) dropped.
+		{"crash:HG", -0.8},
+		{"zombie:HG", -0.8},
+		// VG down: all voice (0.2) dropped.
+		{"crash:VG", -0.2},
+		// One EMN server down: half of both protocols.
+		{"crash:S1", -0.5},
+		{"zombie:S2", -0.5},
+		// DB down: everything dropped.
+		{"crash:DB", -1},
+		{"zombie:DB", -1},
+		// HostA: HG down (0.8) + half the voice traffic via S1 (0.1).
+		{"hostdown:HostA", -0.9},
+		// HostB: VG down (0.2) + half the HTTP traffic via S2 (0.4).
+		{"hostdown:HostB", -0.6},
+		// HostC: DB down.
+		{"hostdown:HostC", -1},
+	}
+	for _, tt := range tests {
+		if got := r[st[tt.state]]; !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("rate(%s) = %v, want %v", tt.state, got, tt.want)
+		}
+	}
+}
+
+func TestEMNZombieObservationsAreAmbiguous(t *testing.T) {
+	// A zombie EMN server is invisible to pings and caught by each path
+	// monitor only when the probe routes through it: four equally likely
+	// path-monitor patterns, including all-clear — hence no recovery
+	// notification (paper, Section 5).
+	c := build(t)
+	p := c.Recovery.POMDP
+	st := c.StateIndex
+
+	obsIdx := func(name string) int {
+		for o := 0; o < p.NumObservations(); o++ {
+			if p.ObsName(o) == name {
+				return o
+			}
+		}
+		t.Fatalf("observation %q missing", name)
+		return -1
+	}
+	zs1 := st["zombie:S1"]
+	for _, tt := range []struct {
+		obs  string
+		want float64
+	}{
+		{"obs:clear", 0.25},
+		{"obs:HPathMon", 0.25},
+		{"obs:VPathMon", 0.25},
+		{"obs:HPathMon+VPathMon", 0.25},
+	} {
+		if got := p.Obs[c.ObserveAction].At(zs1, obsIdx(tt.obs)); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("q(%s|zombie:S1) = %v, want %v", tt.obs, got, tt.want)
+		}
+	}
+
+	hasNotif, err := c.Recovery.HasRecoveryNotification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasNotif {
+		t.Error("EMN must lack recovery notification (zombies can look all-clear)")
+	}
+}
+
+func TestEMNCrashObservationsLocalize(t *testing.T) {
+	c := build(t)
+	p := c.Recovery.POMDP
+	st := c.StateIndex
+	// crash:HG: HGMon down and every HTTP probe fails; voice unaffected.
+	found := false
+	for o := 0; o < p.NumObservations(); o++ {
+		if q := p.Obs[c.ObserveAction].At(st["crash:HG"], o); q > 0 {
+			if p.ObsName(o) != "obs:HGMon+HPathMon" || !almostEqual(q, 1, 1e-12) {
+				t.Errorf("crash:HG emits %s w.p. %v", p.ObsName(o), q)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("crash:HG emits nothing")
+	}
+}
+
+func TestEMNSelectedRewards(t *testing.T) {
+	c := build(t)
+	p := c.Recovery.POMDP
+	st, ac := c.StateIndex, c.ActionIndex
+	// Every reward carries the fixed sweep cost mc on top of rate x time.
+	mc := float64(DefaultMonitorCost)
+	tests := []struct {
+		state, action string
+		want          float64
+	}{
+		// Observe prices one 5s monitor sweep at the state's drop rate.
+		{"null", "observe", -mc},
+		{"zombie:S1", "observe", -2.5 - mc},
+		{"crash:DB", "observe", -5 - mc},
+		// Matching restart: down during the restart, clean sweep after.
+		{"crash:HG", "restart:HG", -0.8*60 - mc},
+		{"zombie:S1", "restart:S1", -0.5*60 - mc},
+		{"crash:DB", "restart:DB", -240 - mc},
+		// Wrong restart: S2 down while S1 is a zombie kills the whole
+		// middle tier for 60s, and the zombie persists through the sweep.
+		{"zombie:S1", "restart:S2", -(1.0*60 + 0.5*5) - mc},
+		// Restarting a healthy component in the null state still costs.
+		{"null", "restart:DB", -240 - mc},
+		// Reboot of HostA fixes zombie:S1 but drops 0.9 for 300s.
+		{"zombie:S1", "reboot:HostA", -0.9*300 - mc},
+	}
+	for _, tt := range tests {
+		got := p.M.Reward[ac[tt.action]][st[tt.state]]
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("r(%s, %s) = %v, want %v", tt.state, tt.action, got, tt.want)
+		}
+	}
+}
+
+func TestEMNPreparesAndBoundsConverge(t *testing.T) {
+	c := build(t)
+	prep, err := core.Prepare(c.Recovery, core.PrepareOptions{
+		OperatorResponseTime: OperatorResponseTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Regime != core.RegimeTermination {
+		t.Errorf("regime = %v, want termination", prep.Regime)
+	}
+	// RA values must be finite, non-positive, and zero only at s_T.
+	for s, v := range prep.RA {
+		if v > 1e-9 {
+			t.Errorf("RA[%d] = %v > 0", s, v)
+		}
+		if s == prep.Terminate.State && !almostEqual(v, 0, 1e-9) {
+			t.Errorf("RA[s_T] = %v, want 0", v)
+		}
+	}
+	// QMDP upper bound must dominate the RA-Bound.
+	up, err := bounds.QMDP(prep.Model, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range up {
+		if up[s] < prep.RA[s]-1e-6 {
+			t.Errorf("state %d: QMDP %v < RA %v", s, up[s], prep.RA[s])
+		}
+	}
+}
+
+func TestEMNDisableHostFaults(t *testing.T) {
+	c, err := Build(Config{DisableHostFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Recovery.POMDP.NumStates(); got != 11 {
+		t.Errorf("states = %d, want 11 (no host faults)", got)
+	}
+	if len(c.HostStates) != 0 {
+		t.Errorf("host states = %v", c.HostStates)
+	}
+}

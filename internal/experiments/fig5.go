@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/emn"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/stats"
+)
+
+// Fig5Config parameterizes the bounds-improvement experiment of
+// Figures 5(a) and 5(b).
+type Fig5Config struct {
+	// Iterations is the number of bootstrap episodes (20 in the paper).
+	Iterations int
+	// Seed drives fault and observation sampling.
+	Seed uint64
+	// Depth is the tree depth during bootstrap (1 in the paper's Figure 5).
+	Depth int
+	// EMN tunes the system model; the zero value is the paper's.
+	EMN emn.Config
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Depth == 0 {
+		c.Depth = 1
+	}
+	return c
+}
+
+// Fig5Result holds both bootstrap-variant series. The paper plots
+// -BoundAtUniform (an upper bound on recovery cost) for 5(a) and Vectors
+// for 5(b).
+type Fig5Result struct {
+	Random, Average []controller.IterationStats
+}
+
+// UpperBoundOnCost converts a bound value to the paper's 5(a) y-axis.
+func UpperBoundOnCost(boundAtUniform float64) float64 { return -boundAtUniform }
+
+// Fig5 runs the bootstrapping procedure once per variant on identical
+// models and returns the per-iteration series.
+func Fig5(cfg Fig5Config) (*Fig5Result, error) {
+	c := cfg.withDefaults()
+	out := &Fig5Result{}
+	for _, variant := range []controller.BootstrapVariant{controller.VariantRandom, controller.VariantAverage} {
+		compiled, err := emn.Build(c.EMN)
+		if err != nil {
+			return nil, err
+		}
+		prep, err := core.Prepare(compiled.Recovery, core.PrepareOptions{
+			OperatorResponseTime: emn.OperatorResponseTime,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b, err := prep.NewBootstrapper(variant, c.Depth, rng.New(c.Seed).Split("fig5/"+variant.String()))
+		if err != nil {
+			return nil, err
+		}
+		series, err := b.Run(c.Iterations)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 %s: %w", variant, err)
+		}
+		switch variant {
+		case controller.VariantRandom:
+			out.Random = series
+		case controller.VariantAverage:
+			out.Average = series
+		}
+	}
+	return out, nil
+}
+
+// Render formats both series as the two-figure table the paper plots:
+// iteration, upper bound on cost (5a) and bound-vector count (5b) for each
+// variant.
+func (r *Fig5Result) Render() string {
+	t := stats.NewTable("Iter",
+		"UpperBoundCost(random)", "UpperBoundCost(average)",
+		"Vectors(random)", "Vectors(average)")
+	n := len(r.Random)
+	if len(r.Average) > n {
+		n = len(r.Average)
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%d", i+1), "", "", "", ""}
+		if i < len(r.Random) {
+			row[1] = fmt.Sprintf("%.2f", UpperBoundOnCost(r.Random[i].BoundAtUniform))
+			row[3] = fmt.Sprintf("%d", r.Random[i].Vectors)
+		}
+		if i < len(r.Average) {
+			row[2] = fmt.Sprintf("%.2f", UpperBoundOnCost(r.Average[i].BoundAtUniform))
+			row[4] = fmt.Sprintf("%d", r.Average[i].Vectors)
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// CSV renders the series as comma-separated values for plotting.
+func (r *Fig5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("iteration,upper_bound_cost_random,upper_bound_cost_average,vectors_random,vectors_average\n")
+	n := len(r.Random)
+	if len(r.Average) > n {
+		n = len(r.Average)
+	}
+	for i := 0; i < n; i++ {
+		cells := []string{fmt.Sprintf("%d", i+1), "", "", "", ""}
+		if i < len(r.Random) {
+			cells[1] = fmt.Sprintf("%.6f", UpperBoundOnCost(r.Random[i].BoundAtUniform))
+			cells[3] = fmt.Sprintf("%d", r.Random[i].Vectors)
+		}
+		if i < len(r.Average) {
+			cells[2] = fmt.Sprintf("%.6f", UpperBoundOnCost(r.Average[i].BoundAtUniform))
+			cells[4] = fmt.Sprintf("%d", r.Average[i].Vectors)
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomChain builds an n-state absorbing chain with ~branch non-zeros per
+// row, shaped like the transition structure of recovery models.
+func randomChain(b *testing.B, n, branch int) (*CSR, Vector) {
+	b.Helper()
+	r := rand.New(rand.NewPCG(1, uint64(n)))
+	bl := NewBuilder(n, n)
+	reward := NewVector(n)
+	for s := 0; s < n-1; s++ {
+		up := s + 1 + r.IntN(n-s-1)
+		bl.Add(s, up, 0.4)
+		rest := 0.6
+		for k := 0; k < branch-1; k++ {
+			w := rest
+			if k < branch-2 {
+				w = rest * r.Float64()
+			}
+			bl.Add(s, r.IntN(n), w)
+			rest -= w
+		}
+		reward[s] = -r.Float64()
+	}
+	bl.Add(n-1, n-1, 1)
+	m, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, reward
+}
+
+func BenchmarkCSRMulVec(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m, _ := randomChain(b, n, 4)
+			x, dst := NewVector(n), NewVector(n)
+			x.Fill(1.0 / float64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MulVec(dst, x)
+			}
+		})
+	}
+}
+
+func BenchmarkCSRMulVecT(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m, _ := randomChain(b, n, 4)
+			x, dst := NewVector(n), NewVector(n)
+			x.Fill(1.0 / float64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MulVecT(dst, x)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveFixedPoint(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m, reward := randomChain(b, n, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SolveFixedPoint(m, 1, reward, FixedPointOptions{Omega: 1.1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveLU(b *testing.B) {
+	for _, n := range []int{16, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m, reward := randomChain(b, n, 4)
+			dense := m.Dense()
+			a := make([][]float64, n)
+			for s := 0; s < n; s++ {
+				a[s] = make([]float64, n)
+				for c := 0; c < n; c++ {
+					a[s][c] = -dense[s][c]
+				}
+				a[s][s] += 1
+			}
+			// Pin the absorbing row.
+			a[n-1][n-1] = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveLU(a, reward); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

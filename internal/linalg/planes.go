@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// PlaneUseful reports whether hyperplane v attains a strictly higher value
+// than max over `others` somewhere on the probability simplex — the exact
+// (LP-based) usefulness test behind "hyperplanes that are not better in at
+// least some regions of the probability simplex can be discarded".
+//
+// The quantity decided is the matrix-game value
+//
+//	V = max_{π ∈ simplex} min_b π·(v − b),
+//
+// with v useful iff V > tol. Rather than solving that primal directly
+// (whose simplex-equality row needs artificial variables and is prone to
+// degenerate phase-1 stalling on the near-duplicate constraint sets the
+// cross-sum DP produces), we solve the shifted DUAL game LP
+//
+//	maximize Σ_b w_b   s.t.  Σ_b w_b·g'_b(s) ≤ 1 ∀s,  w ≥ 0,
+//
+// where g'_b = (v − b) + M entrywise, with M chosen so g' ≥ 1. The dual has
+// only ≤-rows with non-negative right-hand sides, so the all-slack basis is
+// immediately feasible (single-phase simplex), and strong duality gives
+// V = 1/Σw* − M exactly.
+func PlaneUseful(v Vector, others []Vector, tol float64) (bool, error) {
+	if len(others) == 0 {
+		return true, nil
+	}
+	n := len(v)
+	if n == 0 {
+		return false, fmt.Errorf("linalg: empty plane")
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	k := len(others)
+	// g_b = v − b, then shifted by M so every entry is ≥ 1.
+	g := make([]Vector, k)
+	maxAbs := 0.0
+	for bi, b := range others {
+		if len(b) != n {
+			return false, fmt.Errorf("linalg: plane length %d, want %d", len(b), n)
+		}
+		g[bi] = NewVector(n)
+		for s := 0; s < n; s++ {
+			d := v[s] - b[s]
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return false, fmt.Errorf("linalg: non-finite plane difference")
+			}
+			g[bi][s] = d
+			if a := math.Abs(d); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	shift := maxAbs + 1
+	// Dual variables: w_b ≥ 0; one ≤-constraint per state s.
+	obj := NewVector(k)
+	obj.Fill(1)
+	cons := make([]Constraint, n)
+	for s := 0; s < n; s++ {
+		row := NewVector(k)
+		for bi := 0; bi < k; bi++ {
+			row[bi] = g[bi][s] + shift
+		}
+		cons[s] = Constraint{Coeffs: row, Op: LE, Rhs: 1}
+	}
+	res, err := SolveLP(LP{Objective: obj, Constraints: cons})
+	if err != nil {
+		return false, fmt.Errorf("linalg: usefulness LP: %w", err)
+	}
+	if res.Value <= 0 {
+		// Σw* = 0 would mean an infinite shifted game value, impossible
+		// with g' ≥ 1; treat defensively as useful (never drop a plane on a
+		// numerical fluke).
+		return true, nil
+	}
+	gameValue := 1/res.Value - shift
+	return gameValue > tol, nil
+}
+
+// FilterUselessPlanes removes every plane that is nowhere strictly above
+// the maximum of the remaining planes, leaving the pointwise-max function
+// unchanged. Removal is one at a time, which is sound: deleting a useless
+// plane never changes the max, so later tests remain valid.
+func FilterUselessPlanes(planes []Vector, tol float64) ([]Vector, error) {
+	kept := append([]Vector(nil), planes...)
+	for i := 0; i < len(kept); {
+		others := make([]Vector, 0, len(kept)-1)
+		others = append(others, kept[:i]...)
+		others = append(others, kept[i+1:]...)
+		useful, err := PlaneUseful(kept[i], others, tol)
+		if err != nil {
+			return nil, err
+		}
+		if useful {
+			i++
+			continue
+		}
+		kept = append(kept[:i], kept[i+1:]...)
+	}
+	return kept, nil
+}

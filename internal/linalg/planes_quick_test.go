@@ -1,0 +1,37 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPlaneUsefulNeverInfeasibleRandom(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + r.IntN(4)
+		k := 1 + r.IntN(6)
+		scale := []float64{1, 10, 100, 1000}[r.IntN(4)]
+		v := NewVector(n)
+		for i := range v {
+			v[i] = (r.Float64() - 0.7) * scale
+		}
+		others := make([]Vector, k)
+		for j := range others {
+			others[j] = NewVector(n)
+			for i := range others[j] {
+				others[j][i] = (r.Float64() - 0.7) * scale
+			}
+			if r.IntN(4) == 0 {
+				copy(others[j], v) // duplicates
+			}
+		}
+		_, err := PlaneUseful(v, others, 0)
+		if errors.Is(err, ErrInfeasible) {
+			t.Fatalf("trial %d (n=%d k=%d scale=%v): infeasible\nv=%v\nothers=%v", trial, n, k, scale, v, others)
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package linalg
+
+import "testing"
+
+func TestPlaneUsefulBasicGeometry(t *testing.T) {
+	a := Vector{1, 0}
+	b := Vector{0, 1}
+	// Each of the crossing planes is useful against the other.
+	for _, pair := range [][2]Vector{{a, b}, {b, a}} {
+		useful, err := PlaneUseful(pair[0], []Vector{pair[1]}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !useful {
+			t.Errorf("crossing plane %v reported useless vs %v", pair[0], pair[1])
+		}
+	}
+	// A plane below the max of a and b everywhere is useless even though no
+	// single plane pointwise-dominates it.
+	mid := Vector{0.4, 0.4} // max(a,b) at any π is ≥ 0.5
+	useful, err := PlaneUseful(mid, []Vector{a, b}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if useful {
+		t.Errorf("plane %v under the upper envelope reported useful", mid)
+	}
+	// Raising it above the envelope's valley (0.5 at π = (0.5, 0.5)) makes
+	// it useful again.
+	high := Vector{0.6, 0.6}
+	useful, err = PlaneUseful(high, []Vector{a, b}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !useful {
+		t.Errorf("plane %v above the envelope valley reported useless", high)
+	}
+}
+
+func TestPlaneUsefulEmptyOthersAndErrors(t *testing.T) {
+	useful, err := PlaneUseful(Vector{1}, nil, 0)
+	if err != nil || !useful {
+		t.Errorf("empty others: %v %v", useful, err)
+	}
+	if _, err := PlaneUseful(Vector{}, []Vector{{1}}, 0); err == nil {
+		t.Error("empty plane accepted")
+	}
+	if _, err := PlaneUseful(Vector{1}, []Vector{{1, 2}}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFilterUselessPlanes(t *testing.T) {
+	planes := []Vector{
+		{1, 0},
+		{0, 1},
+		{0.4, 0.4},   // under the envelope: removed
+		{0.7, 0.7},   // above the valley: kept
+		{1, 0},       // exact duplicate: one copy removed
+		{0.2, -0.25}, // pointwise-dominated: removed
+	}
+	kept, err := FilterUselessPlanes(planes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d planes, want 3: %v", len(kept), kept)
+	}
+	// The max function must be unchanged on a grid of beliefs.
+	for p := 0.0; p <= 1.00001; p += 0.01 {
+		pi := Vector{p, 1 - p}
+		var before, after float64
+		before, after = -1e18, -1e18
+		for _, v := range planes {
+			if x := pi.Dot(v); x > before {
+				before = x
+			}
+		}
+		for _, v := range kept {
+			if x := pi.Dot(v); x > after {
+				after = x
+			}
+		}
+		if !almostEqual(before, after, 1e-9) {
+			t.Fatalf("max changed at p=%v: %v -> %v", p, before, after)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when a linear program has no feasible point.
+var ErrInfeasible = errors.New("linalg: linear program is infeasible")
+
+// ErrLPUnbounded is returned when a linear program's objective is unbounded
+// above.
+var ErrLPUnbounded = errors.New("linalg: linear program is unbounded")
+
+// ConstraintOp is the relation of one linear constraint.
+type ConstraintOp int
+
+// Constraint relations.
+const (
+	LE ConstraintOp = iota + 1 // Σ a_j x_j ≤ rhs
+	GE                         // Σ a_j x_j ≥ rhs
+	EQ                         // Σ a_j x_j = rhs
+)
+
+// Constraint is one row of a linear program.
+type Constraint struct {
+	// Coeffs are the coefficients over the decision variables.
+	Coeffs Vector
+	// Op relates the linear form to Rhs.
+	Op ConstraintOp
+	// Rhs is the right-hand side.
+	Rhs float64
+}
+
+// LP is the problem: maximize Objective·x subject to the Constraints and
+// x ≥ 0. (Free variables must be split by the caller as x = x⁺ − x⁻.)
+type LP struct {
+	Objective   Vector
+	Constraints []Constraint
+}
+
+// LPResult is an optimal solution.
+type LPResult struct {
+	// X is the optimizer (length = number of decision variables).
+	X Vector
+	// Value is the optimal objective value.
+	Value float64
+}
+
+// SolveLP solves the linear program by the two-phase primal simplex method
+// with Bland's anti-cycling rule. It is a dense implementation sized for
+// the hyperplane-domination LPs of this repository (tens of variables and
+// constraints), not a general-purpose LP library.
+func SolveLP(lp LP) (LPResult, error) {
+	n := len(lp.Objective)
+	if n == 0 {
+		return LPResult{}, fmt.Errorf("linalg: LP with no variables")
+	}
+	m := len(lp.Constraints)
+	for i, c := range lp.Constraints {
+		if len(c.Coeffs) != n {
+			return LPResult{}, fmt.Errorf("linalg: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+		if c.Op != LE && c.Op != GE && c.Op != EQ {
+			return LPResult{}, fmt.Errorf("linalg: constraint %d has invalid op %d", i, c.Op)
+		}
+	}
+
+	// Normalize to equality form with slack/surplus variables and b ≥ 0,
+	// adding artificial variables where the canonical basis is missing.
+	//
+	// Column layout: [x (n)] [slack/surplus (m, one per row; zero column
+	// for EQ)] [artificial (as needed)].
+	type rowInfo struct {
+		slackCol int // -1 if none
+		artCol   int // -1 if none
+	}
+	rows := make([]rowInfo, m)
+	cols := n + m // artificials appended after
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i, c := range lp.Constraints {
+		a[i] = make([]float64, cols) // grown later for artificials
+		copy(a[i], c.Coeffs)
+		b[i] = c.Rhs
+		sign := 1.0
+		if b[i] < 0 {
+			// Multiply the row by -1 so b ≥ 0; flips the relation.
+			sign = -1
+			for j := 0; j < n; j++ {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+		op := c.Op
+		if sign < 0 {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = rowInfo{slackCol: -1, artCol: -1}
+		switch op {
+		case LE:
+			a[i][n+i] = 1 // slack enters the basis
+			rows[i].slackCol = n + i
+		case GE:
+			a[i][n+i] = -1 // surplus; needs an artificial
+			rows[i].slackCol = n + i
+		case EQ:
+			// needs an artificial
+		}
+	}
+	// Append artificial columns.
+	var artCols []int
+	for i := range rows {
+		op := lp.Constraints[i].Op
+		negated := lp.Constraints[i].Rhs < 0
+		if negated {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		if op == GE || op == EQ {
+			col := cols
+			cols++
+			for k := 0; k < m; k++ {
+				a[k] = append(a[k], 0)
+			}
+			a[i][col] = 1
+			rows[i].artCol = col
+			artCols = append(artCols, col)
+		}
+	}
+
+	basis := make([]int, m)
+	for i := range rows {
+		if rows[i].artCol >= 0 {
+			basis[i] = rows[i].artCol
+		} else {
+			basis[i] = rows[i].slackCol
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials (maximize its negation).
+	if len(artCols) > 0 {
+		phase1 := make([]float64, cols)
+		for _, c := range artCols {
+			phase1[c] = -1
+		}
+		if err := simplexIterate(a, b, basis, phase1); err != nil {
+			return LPResult{}, err
+		}
+		var artSum float64
+		for i, col := range basis {
+			if isArtificial(col, artCols) {
+				artSum += b[i]
+			}
+		}
+		if artSum > 1e-8 {
+			return LPResult{}, ErrInfeasible
+		}
+		// Drive any residual (degenerate) artificials out of the basis.
+		for i, col := range basis {
+			if !isArtificial(col, artCols) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(a[i][j]) > 1e-9 && !isArtificial(j, artCols) {
+					pivot(a, b, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; harmless to leave (b[i] is 0).
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: the real objective, with artificial columns forbidden.
+	obj := make([]float64, cols)
+	copy(obj, lp.Objective)
+	for _, c := range artCols {
+		obj[c] = math.Inf(-1) // never price an artificial back in
+	}
+	if err := simplexIterate(a, b, basis, obj); err != nil {
+		return LPResult{}, err
+	}
+
+	x := NewVector(n)
+	for i, col := range basis {
+		if col < n {
+			x[col] = b[i]
+		}
+	}
+	return LPResult{X: x, Value: Vector(lp.Objective).Dot(x)}, nil
+}
+
+func isArtificial(col int, artCols []int) bool {
+	for _, c := range artCols {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// simplexIterate runs primal simplex on the tableau (a, b) with the given
+// basis, maximizing obj. Bland's rule guarantees termination.
+func simplexIterate(a [][]float64, b []float64, basis []int, obj []float64) error {
+	m := len(a)
+	if m == 0 {
+		return nil
+	}
+	cols := len(a[0])
+	const tol = 1e-9
+	// y holds the reduced costs.
+	for iter := 0; iter < 10000*(cols+m); iter++ {
+		// Reduced cost: c_j - c_B·B⁻¹A_j. With the tableau kept in
+		// canonical form, compute via the basis rows.
+		entering := -1
+		for j := 0; j < cols; j++ {
+			if math.IsInf(obj[j], -1) {
+				continue
+			}
+			cj := obj[j]
+			for i, col := range basis {
+				if !math.IsInf(obj[col], -1) {
+					cj -= obj[col] * a[i][j]
+				}
+			}
+			if cj > tol {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering < 0 {
+			return nil // optimal
+		}
+		// Ratio test (Bland: smallest basis index on ties).
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if a[i][entering] > tol {
+				ratio := b[i] / a[i][entering]
+				if ratio < best-tol || (ratio < best+tol && (leaving < 0 || basis[i] < basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving < 0 {
+			return ErrLPUnbounded
+		}
+		pivot(a, b, basis, leaving, entering)
+	}
+	return fmt.Errorf("linalg: simplex iteration limit reached")
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func pivot(a [][]float64, b []float64, basis []int, row, col int) {
+	m := len(a)
+	inv := 1 / a[row][col]
+	for j := range a[row] {
+		a[row][j] *= inv
+	}
+	b[row] *= inv
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range a[i] {
+			a[i][j] -= f * a[row][j]
+		}
+		b[i] -= f * b[row]
+	}
+	basis[row] = col
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSolveLPTextbookMax(t *testing.T) {
+	// maximize 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 — the classic
+	// Wyndor Glass problem; optimum (2, 6) value 36.
+	res, err := SolveLP(LP{
+		Objective: Vector{3, 5},
+		Constraints: []Constraint{
+			{Coeffs: Vector{1, 0}, Op: LE, Rhs: 4},
+			{Coeffs: Vector{0, 2}, Op: LE, Rhs: 12},
+			{Coeffs: Vector{3, 2}, Op: LE, Rhs: 18},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Value, 36, 1e-8) {
+		t.Errorf("value = %v, want 36", res.Value)
+	}
+	if !almostEqual(res.X[0], 2, 1e-8) || !almostEqual(res.X[1], 6, 1e-8) {
+		t.Errorf("x = %v, want (2, 6)", res.X)
+	}
+}
+
+func TestSolveLPWithEqualityAndGE(t *testing.T) {
+	// maximize x + y s.t. x + y = 1 (simplex!), x ≥ 0.25. Optimum value 1,
+	// any feasible split; x must honor the GE row.
+	res, err := SolveLP(LP{
+		Objective: Vector{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: Vector{1, 1}, Op: EQ, Rhs: 1},
+			{Coeffs: Vector{1, 0}, Op: GE, Rhs: 0.25},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Value, 1, 1e-8) {
+		t.Errorf("value = %v, want 1", res.Value)
+	}
+	if res.X[0] < 0.25-1e-8 {
+		t.Errorf("x = %v violates x ≥ 0.25", res.X)
+	}
+	if !almostEqual(res.X.Sum(), 1, 1e-8) {
+		t.Errorf("x sums to %v", res.X.Sum())
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// maximize -x s.t. -x ≤ -2 (i.e. x ≥ 2): optimum x = 2, value -2.
+	res, err := SolveLP(LP{
+		Objective:   Vector{-1},
+		Constraints: []Constraint{{Coeffs: Vector{-1}, Op: LE, Rhs: -2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.X[0], 2, 1e-8) || !almostEqual(res.Value, -2, 1e-8) {
+		t.Errorf("x = %v value %v, want 2/-2", res.X, res.Value)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	_, err := SolveLP(LP{
+		Objective: Vector{1},
+		Constraints: []Constraint{
+			{Coeffs: Vector{1}, Op: LE, Rhs: 1},
+			{Coeffs: Vector{1}, Op: GE, Rhs: 2},
+		},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	_, err := SolveLP(LP{
+		Objective:   Vector{1},
+		Constraints: []Constraint{{Coeffs: Vector{-1}, Op: LE, Rhs: 0}},
+	})
+	if !errors.Is(err, ErrLPUnbounded) {
+		t.Errorf("err = %v, want ErrLPUnbounded", err)
+	}
+}
+
+func TestSolveLPValidation(t *testing.T) {
+	if _, err := SolveLP(LP{}); err == nil {
+		t.Error("no variables accepted")
+	}
+	if _, err := SolveLP(LP{
+		Objective:   Vector{1},
+		Constraints: []Constraint{{Coeffs: Vector{1, 2}, Op: LE, Rhs: 1}},
+	}); err == nil {
+		t.Error("coefficient length mismatch accepted")
+	}
+	if _, err := SolveLP(LP{
+		Objective:   Vector{1},
+		Constraints: []Constraint{{Coeffs: Vector{1}, Op: 0, Rhs: 1}},
+	}); err == nil {
+		t.Error("invalid op accepted")
+	}
+}
+
+func TestSolveLPDegenerate(t *testing.T) {
+	// Degenerate vertex (three constraints through one point in 2D); Bland's
+	// rule must still terminate at the optimum (1,1), value 2.
+	res, err := SolveLP(LP{
+		Objective: Vector{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: Vector{1, 0}, Op: LE, Rhs: 1},
+			{Coeffs: Vector{0, 1}, Op: LE, Rhs: 1},
+			{Coeffs: Vector{1, 1}, Op: LE, Rhs: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Value, 2, 1e-8) {
+		t.Errorf("value = %v, want 2", res.Value)
+	}
+}
+
+func TestSolveLPMatchesBruteForceOnRandomSimplexLPs(t *testing.T) {
+	// Domination-shaped LPs: maximize δ s.t. π·g_k ≥ δ over the probability
+	// simplex. The optimum is max over vertices? No — it is the value of the
+	// max-min over the simplex, which for a single g is max_s g(s) and in
+	// general is the optimal mixed strategy value; brute-force over a fine
+	// grid lower-bounds it. Use 2-state problems where the answer is exact:
+	// max_π min_k π·g_k with π = (p, 1-p) is a 1-D piecewise-linear concave
+	// maximization solvable by scanning breakpoints.
+	cases := [][]Vector{
+		{{1, -1}, {-1, 1}},           // value 0 at p = 0.5
+		{{2, 0}, {0, 1}},             // crossing at p = 1/3: value 2/3
+		{{-1, -2}},                   // single plane: max at p = 1 → -1
+		{{1, 1}, {0.5, 3}, {2, 0.5}}, // all positive
+	}
+	for ci, gs := range cases {
+		n := 2
+		// Variables: π_0, π_1, δ⁺, δ⁻.
+		obj := Vector{0, 0, 1, -1}
+		cons := []Constraint{
+			{Coeffs: Vector{1, 1, 0, 0}, Op: EQ, Rhs: 1},
+		}
+		for _, g := range gs {
+			cons = append(cons, Constraint{
+				Coeffs: Vector{-g[0], -g[1], 1, -1}, Op: LE, Rhs: 0,
+			})
+		}
+		res, err := SolveLP(LP{Objective: obj, Constraints: cons})
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		// Brute force over p.
+		best := math.Inf(-1)
+		for p := 0.0; p <= 1.0000001; p += 1e-4 {
+			worst := math.Inf(1)
+			for _, g := range gs {
+				v := p*g[0] + (1-p)*g[1]
+				if v < worst {
+					worst = v
+				}
+			}
+			if worst > best {
+				best = worst
+			}
+		}
+		if !almostEqual(res.Value, best, 1e-3) {
+			t.Errorf("case %d: LP %v vs brute force %v (n=%d)", ci, res.Value, best, n)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver fails to reach the
+// requested tolerance within its iteration budget. For the bound computations
+// in this repository this is a *signal*, not merely a failure: the paper
+// proves that the BI-POMDP and blind-policy bounds diverge on undiscounted
+// recovery models, and callers detect that divergence by matching this error.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// ErrSingular is returned by the dense LU solver when the matrix is
+// (numerically) singular.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// FixedPointOptions configure the iterative fixed-point solvers.
+type FixedPointOptions struct {
+	// Tol is the sup-norm convergence tolerance between successive iterates.
+	// Zero means the default of 1e-10.
+	Tol float64
+	// MaxIter bounds the number of sweeps. Zero means the default of 100000.
+	MaxIter int
+	// Omega is the successive-over-relaxation factor in (0, 2). Zero means
+	// 1.0 (plain Gauss-Seidel). The paper's implementation uses Gauss-Seidel
+	// with successive over-relaxation (§3.1).
+	Omega float64
+	// DivergeAbove aborts with ErrNoConvergence as soon as the iterate's
+	// sup-norm exceeds this value, catching geometric blow-up early.
+	// Zero means the default of 1e12.
+	DivergeAbove float64
+}
+
+func (o FixedPointOptions) withDefaults() FixedPointOptions {
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100000
+	}
+	if o.Omega == 0 {
+		o.Omega = 1.0
+	}
+	if o.DivergeAbove == 0 {
+		o.DivergeAbove = 1e12
+	}
+	return o
+}
+
+// FixedPointResult reports how a fixed-point solve went.
+type FixedPointResult struct {
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the final sup-norm change between successive iterates.
+	Residual float64
+}
+
+// SolveFixedPoint solves v = r + beta·P·v by Gauss-Seidel sweeps with
+// successive over-relaxation, starting from v = 0.
+//
+// P must be square (n×n) and substochastic row-wise; r has length n. The
+// equation is the expected-total-reward equation of an absorbing Markov
+// chain (Equation 5 of the paper once the uniform-random-action chain has
+// been formed). A unique finite solution exists iff every state with a
+// non-zero reward (directly or transitively) reaches an absorbing set with
+// probability 1; when that fails the iteration grows without bound and the
+// solver returns ErrNoConvergence.
+//
+// Rows whose diagonal is 1 with beta == 1 (absorbing states) keep
+// v[s] = r[s]/(1-beta·P[s,s]) undefined; for those rows the solver fixes
+// v[s] to r[s] == 0 and returns an error if r[s] != 0, since an absorbing
+// state with non-zero reward accumulates infinite reward.
+func SolveFixedPoint(p *CSR, beta float64, r Vector, opts FixedPointOptions) (Vector, FixedPointResult, error) {
+	o := opts.withDefaults()
+	n := p.Rows()
+	if p.Cols() != n {
+		return nil, FixedPointResult{}, fmt.Errorf("linalg: SolveFixedPoint needs square matrix, got %dx%d", p.Rows(), p.Cols())
+	}
+	if len(r) != n {
+		return nil, FixedPointResult{}, fmt.Errorf("linalg: SolveFixedPoint reward length %d != %d states: %w", len(r), n, ErrDimensionMismatch)
+	}
+	if beta <= 0 || beta > 1 {
+		return nil, FixedPointResult{}, fmt.Errorf("linalg: discount beta=%v outside (0,1]", beta)
+	}
+	if o.Omega <= 0 || o.Omega >= 2 {
+		return nil, FixedPointResult{}, fmt.Errorf("linalg: SOR omega=%v outside (0,2)", o.Omega)
+	}
+
+	diag := NewVector(n)
+	for s := 0; s < n; s++ {
+		diag[s] = p.At(s, s)
+	}
+	for s := 0; s < n; s++ {
+		if 1-beta*diag[s] < 1e-14 && math.Abs(r[s]) > 1e-14 {
+			return nil, FixedPointResult{}, fmt.Errorf(
+				"linalg: state %d is absorbing with non-zero reward %v: infinite accumulated reward: %w",
+				s, r[s], ErrNoConvergence)
+		}
+	}
+
+	v := NewVector(n)
+	res := FixedPointResult{}
+	for it := 0; it < o.MaxIter; it++ {
+		var maxDelta float64
+		for s := 0; s < n; s++ {
+			denom := 1 - beta*diag[s]
+			if denom < 1e-14 {
+				// Absorbing with zero reward: value pinned to 0.
+				v[s] = 0
+				continue
+			}
+			var acc float64
+			row := s
+			for i := p.rowPtr[row]; i < p.rowPtr[row+1]; i++ {
+				c := p.colIdx[i]
+				if c == s {
+					continue
+				}
+				acc += p.vals[i] * v[c]
+			}
+			gs := (r[s] + beta*acc) / denom
+			next := (1-o.Omega)*v[s] + o.Omega*gs
+			if d := math.Abs(next - v[s]); d > maxDelta {
+				maxDelta = d
+			}
+			v[s] = next
+		}
+		res.Iterations = it + 1
+		res.Residual = maxDelta
+		if maxDelta < o.Tol {
+			if !v.IsFinite() {
+				return nil, res, fmt.Errorf("linalg: non-finite solution: %w", ErrNoConvergence)
+			}
+			return v, res, nil
+		}
+		if v.InfNorm() > o.DivergeAbove {
+			return nil, res, fmt.Errorf("linalg: iterate norm %g exceeded divergence threshold %g after %d sweeps: %w",
+				v.InfNorm(), o.DivergeAbove, it+1, ErrNoConvergence)
+		}
+	}
+	return nil, res, fmt.Errorf("linalg: residual %g > tol %g after %d sweeps: %w",
+		res.Residual, o.Tol, o.MaxIter, ErrNoConvergence)
+}
+
+// SolveLU solves the dense system A·x = b by LU decomposition with partial
+// pivoting. A is row-major and is not modified. It is the O(n³) reference
+// solver used to cross-check the iterative solvers in tests and for small
+// models.
+func SolveLU(a [][]float64, b Vector) (Vector, error) {
+	n := len(a)
+	if n == 0 {
+		return Vector{}, nil
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveLU b length %d != %d: %w", len(b), n, ErrDimensionMismatch)
+	}
+	// Working copy.
+	lu := make([][]float64, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: SolveLU row %d length %d != %d: %w", i, len(a[i]), n, ErrDimensionMismatch)
+		}
+		lu[i] = append([]float64(nil), a[i]...)
+	}
+	x := b.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		pivot, pv := k, math.Abs(lu[k][k])
+		for i := k + 1; i < n; i++ {
+			if av := math.Abs(lu[i][k]); av > pv {
+				pivot, pv = i, av
+			}
+		}
+		if pv < 1e-14 {
+			return nil, fmt.Errorf("linalg: pivot %g at column %d: %w", pv, k, ErrSingular)
+		}
+		if pivot != k {
+			lu[k], lu[pivot] = lu[pivot], lu[k]
+			x[k], x[pivot] = x[pivot], x[k]
+			perm[k], perm[pivot] = perm[pivot], perm[k]
+		}
+		inv := 1 / lu[k][k]
+		for i := k + 1; i < n; i++ {
+			f := lu[i][k] * inv
+			if f == 0 {
+				continue
+			}
+			lu[i][k] = f
+			for j := k + 1; j < n; j++ {
+				lu[i][j] -= f * lu[k][j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i][j] * x[j]
+		}
+		x[i] = s / lu[i][i]
+	}
+	return x, nil
+}
+
+// SolveAbsorbingLU solves v = r + beta·P·v exactly via dense LU, pinning the
+// value of absorbing states (diagonal 1 under beta == 1) to zero by replacing
+// their equation with v[s] = 0. It mirrors SolveFixedPoint's handling so the
+// two can be compared directly in tests.
+func SolveAbsorbingLU(p *CSR, beta float64, r Vector) (Vector, error) {
+	n := p.Rows()
+	if p.Cols() != n || len(r) != n {
+		return nil, fmt.Errorf("linalg: SolveAbsorbingLU shapes P %dx%d, r %d: %w",
+			p.Rows(), p.Cols(), len(r), ErrDimensionMismatch)
+	}
+	a := make([][]float64, n)
+	b := NewVector(n)
+	dense := p.Dense()
+	for s := 0; s < n; s++ {
+		a[s] = make([]float64, n)
+		if 1-beta*dense[s][s] < 1e-14 {
+			if math.Abs(r[s]) > 1e-14 {
+				return nil, fmt.Errorf("linalg: absorbing state %d has reward %v: %w", s, r[s], ErrNoConvergence)
+			}
+			a[s][s] = 1
+			b[s] = 0
+			continue
+		}
+		for c := 0; c < n; c++ {
+			a[s][c] = -beta * dense[s][c]
+		}
+		a[s][s] += 1
+		b[s] = r[s]
+	}
+	return SolveLU(a, b)
+}

@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// chain builds the transition matrix of a 3-state chain:
+// state 0 -> {0 w.p. 1-p, 1 w.p. p}, state 1 -> 2, state 2 absorbing.
+func chain(t *testing.T, p float64) *CSR {
+	t.Helper()
+	m, err := NewCSR(3, 3, []Entry{
+		{0, 0, 1 - p}, {0, 1, p},
+		{1, 2, 1},
+		{2, 2, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSolveFixedPointAbsorbingChain(t *testing.T) {
+	// Expected total reward with r = [-1, -1, 0]:
+	// v2 = 0; v1 = -1; v0 = -1 + (1-p)v0 + p*v1  =>  v0 = (-1 - p)/p.
+	p := 0.5
+	m := chain(t, p)
+	v, res, err := SolveFixedPoint(m, 1, Vector{-1, -1, 0}, FixedPointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := (-1 - p) / p
+	if !almostEqual(v[0], want0, 1e-8) || !almostEqual(v[1], -1, 1e-8) || v[2] != 0 {
+		t.Errorf("v = %v, want [%v -1 0] (res %+v)", v, want0, res)
+	}
+}
+
+func TestSolveFixedPointMatchesLU(t *testing.T) {
+	for _, p := range []float64{0.1, 0.3, 0.9} {
+		m := chain(t, p)
+		r := Vector{-2, -0.5, 0}
+		vi, _, err := SolveFixedPoint(m, 1, r, FixedPointOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vd, err := SolveAbsorbingLU(m, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vi.InfNormDiff(vd); d > 1e-7 {
+			t.Errorf("p=%v: Gauss-Seidel vs LU differ by %g: %v vs %v", p, d, vi, vd)
+		}
+	}
+}
+
+func TestSolveFixedPointSOROmegaSweep(t *testing.T) {
+	m := chain(t, 0.2)
+	r := Vector{-1, -1, 0}
+	base, _, err := SolveFixedPoint(m, 1, r, FixedPointOptions{Omega: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, omega := range []float64{0.5, 1.2, 1.5, 1.9} {
+		v, _, err := SolveFixedPoint(m, 1, r, FixedPointOptions{Omega: omega})
+		if err != nil {
+			t.Fatalf("omega=%v: %v", omega, err)
+		}
+		if d := v.InfNormDiff(base); d > 1e-7 {
+			t.Errorf("omega=%v solution differs by %g", omega, d)
+		}
+	}
+}
+
+func TestSolveFixedPointRejectsBadParams(t *testing.T) {
+	m := chain(t, 0.5)
+	r := Vector{-1, -1, 0}
+	if _, _, err := SolveFixedPoint(m, 0, r, FixedPointOptions{}); err == nil {
+		t.Error("beta=0 accepted")
+	}
+	if _, _, err := SolveFixedPoint(m, 1.5, r, FixedPointOptions{}); err == nil {
+		t.Error("beta=1.5 accepted")
+	}
+	if _, _, err := SolveFixedPoint(m, 1, r, FixedPointOptions{Omega: 2.5}); err == nil {
+		t.Error("omega=2.5 accepted")
+	}
+	if _, _, err := SolveFixedPoint(m, 1, Vector{-1}, FixedPointOptions{}); err == nil {
+		t.Error("short reward vector accepted")
+	}
+	rect, err := NewCSR(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SolveFixedPoint(rect, 1, Vector{0, 0}, FixedPointOptions{}); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestSolveFixedPointAbsorbingWithRewardDiverges(t *testing.T) {
+	// Absorbing state with non-zero reward accumulates infinite reward.
+	m, err := NewCSR(1, 1, []Entry{{0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = SolveFixedPoint(m, 1, Vector{-1}, FixedPointOptions{})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestSolveFixedPointDetectsRecurrentRewardDivergence(t *testing.T) {
+	// Two states cycling with reward -1 each step: no absorbing set, value -inf.
+	m, err := NewCSR(2, 2, []Entry{{0, 1, 1}, {1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = SolveFixedPoint(m, 1, Vector{-1, -1}, FixedPointOptions{MaxIter: 5000})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestSolveFixedPointDiscountedRecurrentConverges(t *testing.T) {
+	// Same cycle but discounted: v = -1/(1-beta).
+	m, err := NewCSR(2, 2, []Entry{{0, 1, 1}, {1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := 0.9
+	v, _, err := SolveFixedPoint(m, beta, Vector{-1, -1}, FixedPointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1 / (1 - beta)
+	if !almostEqual(v[0], want, 1e-6) || !almostEqual(v[1], want, 1e-6) {
+		t.Errorf("v = %v, want [%v %v]", v, want, want)
+	}
+}
+
+func TestSolveLUKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1},
+		{1, 3},
+	}
+	x, err := SolveLU(a, Vector{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 => x=1, y=3.
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLUSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := SolveLU(a, Vector{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLUShapeErrors(t *testing.T) {
+	if _, err := SolveLU([][]float64{{1, 2}}, Vector{1}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := SolveLU([][]float64{{1}}, Vector{1, 2}); err == nil {
+		t.Error("b length mismatch accepted")
+	}
+	if x, err := SolveLU(nil, Vector{}); err != nil || len(x) != 0 {
+		t.Errorf("empty system: x=%v err=%v", x, err)
+	}
+}
+
+// Property: on random absorbing chains, Gauss-Seidel+SOR agrees with dense LU.
+func TestSolveFixedPointMatchesLURandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 24))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(10)
+		b := NewBuilder(n, n)
+		r := NewVector(n)
+		// Last state absorbing with zero reward; every other state sends at
+		// least some mass "toward" higher-numbered states so absorption is
+		// guaranteed.
+		for s := 0; s < n-1; s++ {
+			pUp := 0.2 + 0.8*rng.Float64()
+			up := s + 1 + rng.IntN(n-s-1)
+			b.Add(s, up, pUp)
+			if pUp < 1 {
+				b.Add(s, rng.IntN(s+1), 1-pUp)
+			}
+			r[s] = -rng.Float64()
+		}
+		b.Add(n-1, n-1, 1)
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vi, _, err := SolveFixedPoint(m, 1, r, FixedPointOptions{Omega: 1.1})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		vd, err := SolveAbsorbingLU(m, 1, r)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := vi.InfNormDiff(vd); d > 1e-6 {
+			t.Errorf("trial %d (n=%d): iterative vs LU differ by %g", trial, n, d)
+		}
+	}
+}

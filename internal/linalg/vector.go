@@ -1,0 +1,155 @@
+// Package linalg provides the small, dependency-free linear-algebra kernel
+// used by the MDP and POMDP solvers: dense vectors, compressed sparse row
+// (CSR) matrices, and iterative linear-system solvers (Gauss-Seidel with
+// successive over-relaxation, Jacobi) together with a dense LU reference
+// solver used for cross-checking.
+//
+// The package is deliberately minimal: the models in this repository have at
+// most a few hundred thousand states with very sparse transition structure,
+// which is exactly the regime the paper targets ("standard, numerically
+// stable linear system solvers for models with up to hundreds of thousands
+// of states", §4.3).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operands have incompatible shapes.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector {
+	return make(Vector, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every entry of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Dot returns the inner product of v and w.
+// It panics if the lengths differ; callers validate shapes at model-build
+// time so a mismatch here is a programming error.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AddScaled sets v = v + alpha*w in place and returns v.
+func (v Vector) AddScaled(alpha float64, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: AddScaled length mismatch %d != %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+	return v
+}
+
+// Scale multiplies every entry of v by alpha in place and returns v.
+func (v Vector) Scale(alpha float64) Vector {
+	for i := range v {
+		v[i] *= alpha
+	}
+	return v
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Max returns the maximum entry of v and its index.
+// For an empty vector it returns -Inf and -1.
+func (v Vector) Max() (float64, int) {
+	best, arg := math.Inf(-1), -1
+	for i, x := range v {
+		if x > best {
+			best, arg = x, i
+		}
+	}
+	return best, arg
+}
+
+// Min returns the minimum entry of v and its index.
+// For an empty vector it returns +Inf and -1.
+func (v Vector) Min() (float64, int) {
+	best, arg := math.Inf(1), -1
+	for i, x := range v {
+		if x < best {
+			best, arg = x, i
+		}
+	}
+	return best, arg
+}
+
+// InfNormDiff returns max_i |v[i]-w[i]|, the sup-norm distance between v and w.
+func (v Vector) InfNormDiff(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: InfNormDiff length mismatch %d != %d", len(v), len(w)))
+	}
+	var m float64
+	for i := range v {
+		if d := math.Abs(v[i] - w[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// InfNorm returns max_i |v[i]|.
+func (v Vector) InfNorm() float64 {
+	var m float64
+	for _, x := range v {
+		if d := math.Abs(x); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IsFinite reports whether every entry of v is finite (no NaN or ±Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize scales v in place so its entries sum to 1 and reports whether
+// that was possible (the sum must be positive and finite).
+func (v Vector) Normalize() bool {
+	s := v.Sum()
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return false
+	}
+	v.Scale(1 / s)
+	return true
+}

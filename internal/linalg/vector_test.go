@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(4)
+	if len(v) != 4 {
+		t.Fatalf("NewVector(4) length = %d", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("entry %d = %v, want 0", i, x)
+		}
+	}
+	v.Fill(2.5)
+	if got := v.Sum(); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("Sum after Fill(2.5) = %v, want 10", got)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases original: v[0] = %v", v[0])
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	tests := []struct {
+		name string
+		v, w Vector
+		want float64
+	}{
+		{"simple", Vector{1, 2, 3}, Vector{4, 5, 6}, 32},
+		{"zero", Vector{0, 0}, Vector{1, 1}, 0},
+		{"negative", Vector{-1, 2}, Vector{3, -4}, -11},
+		{"empty", Vector{}, Vector{}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Dot(tt.w); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dot = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorAddScaledAndScale(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.AddScaled(2, Vector{1, 1, 1})
+	want := Vector{3, 4, 5}
+	for i := range want {
+		if !almostEqual(v[i], want[i], 1e-12) {
+			t.Errorf("AddScaled[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+	v.Scale(-1)
+	if v[0] != -3 || v[2] != -5 {
+		t.Errorf("Scale(-1) = %v", v)
+	}
+}
+
+func TestVectorMaxMin(t *testing.T) {
+	v := Vector{3, -1, 7, 7, 2}
+	if m, i := v.Max(); m != 7 || i != 2 {
+		t.Errorf("Max = (%v, %d), want (7, 2)", m, i)
+	}
+	if m, i := v.Min(); m != -1 || i != 1 {
+		t.Errorf("Min = (%v, %d), want (-1, 1)", m, i)
+	}
+	if m, i := (Vector{}).Max(); !math.IsInf(m, -1) || i != -1 {
+		t.Errorf("empty Max = (%v, %d)", m, i)
+	}
+	if m, i := (Vector{}).Min(); !math.IsInf(m, 1) || i != -1 {
+		t.Errorf("empty Min = (%v, %d)", m, i)
+	}
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{1, -4, 2}
+	if got := v.InfNorm(); got != 4 {
+		t.Errorf("InfNorm = %v, want 4", got)
+	}
+	w := Vector{0, -1, 5}
+	if got := v.InfNormDiff(w); got != 3 {
+		t.Errorf("InfNormDiff = %v, want 3", got)
+	}
+}
+
+func TestVectorIsFinite(t *testing.T) {
+	if !(Vector{1, 2}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vector{math.Inf(1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{1, 3}
+	if !v.Normalize() {
+		t.Fatal("Normalize failed on positive vector")
+	}
+	if !almostEqual(v.Sum(), 1, 1e-12) {
+		t.Errorf("normalized sum = %v", v.Sum())
+	}
+	z := Vector{0, 0}
+	if z.Normalize() {
+		t.Error("Normalize succeeded on zero vector")
+	}
+	n := Vector{math.NaN()}
+	if n.Normalize() {
+		t.Error("Normalize succeeded on NaN vector")
+	}
+}
+
+// Property: dot product is symmetric and linear in its first argument.
+func TestVectorDotProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		v, w := Vector(raw[:n]), Vector(raw[n:2*n])
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if !almostEqual(v.Dot(w), w.Dot(v), 1e-6) {
+			return false
+		}
+		v2 := v.Clone().Scale(2)
+		return almostEqual(v2.Dot(w), 2*v.Dot(w), 1e-6*(1+math.Abs(v.Dot(w))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

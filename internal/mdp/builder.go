@@ -1,0 +1,132 @@
+package mdp
+
+import (
+	"fmt"
+
+	"bpomdp/internal/linalg"
+)
+
+// Builder assembles an MDP incrementally by naming states and actions and
+// adding transitions. It is the ergonomic front end used by the model
+// compiler in internal/arch and by tests; the resulting MDP is validated on
+// Build.
+type Builder struct {
+	stateIdx  map[string]int
+	actionIdx map[string]int
+	states    []string
+	actions   []string
+
+	trans   map[int][]linalg.Entry // action -> entries
+	rewards map[int]map[int]float64
+	errs    []error
+}
+
+// NewBuilder returns an empty MDP builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		stateIdx:  make(map[string]int),
+		actionIdx: make(map[string]int),
+		trans:     make(map[int][]linalg.Entry),
+		rewards:   make(map[int]map[int]float64),
+	}
+}
+
+// State interns a state name and returns its index.
+func (b *Builder) State(name string) int {
+	if i, ok := b.stateIdx[name]; ok {
+		return i
+	}
+	i := len(b.states)
+	b.stateIdx[name] = i
+	b.states = append(b.states, name)
+	return i
+}
+
+// Action interns an action name and returns its index.
+func (b *Builder) Action(name string) int {
+	if i, ok := b.actionIdx[name]; ok {
+		return i
+	}
+	i := len(b.actions)
+	b.actionIdx[name] = i
+	b.actions = append(b.actions, name)
+	return i
+}
+
+// HasState reports whether a state with this name was interned.
+func (b *Builder) HasState(name string) bool {
+	_, ok := b.stateIdx[name]
+	return ok
+}
+
+// NumStates returns the number of states interned so far.
+func (b *Builder) NumStates() int { return len(b.states) }
+
+// NumActions returns the number of actions interned so far.
+func (b *Builder) NumActions() int { return len(b.actions) }
+
+// Transition adds p(to|from, action) += prob.
+func (b *Builder) Transition(from string, action string, to string, prob float64) {
+	if prob < 0 {
+		b.errs = append(b.errs, fmt.Errorf("mdp: negative probability %v for %s --%s--> %s", prob, from, action, to))
+		return
+	}
+	a := b.Action(action)
+	b.trans[a] = append(b.trans[a], linalg.Entry{Row: b.State(from), Col: b.State(to), Val: prob})
+}
+
+// Reward sets r(state, action) = r (overwriting any prior value).
+func (b *Builder) Reward(state, action string, r float64) {
+	a := b.Action(action)
+	if b.rewards[a] == nil {
+		b.rewards[a] = make(map[int]float64)
+	}
+	b.rewards[a][b.State(state)] = r
+}
+
+// Build finalizes and validates the MDP. Missing (state, action) transition
+// rows are an error — every action must be defined in every state (a
+// "disabled" action should instead be modeled as a self-loop with an
+// appropriately harsh reward, keeping the action set uniform as the POMDP
+// framework of the paper requires).
+func (b *Builder) Build() (*MDP, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	n, na := len(b.states), len(b.actions)
+	if n == 0 || na == 0 {
+		return nil, fmt.Errorf("%w: %d states, %d actions", ErrInvalidModel, n, na)
+	}
+	m := &MDP{
+		Trans:       make([]*linalg.CSR, na),
+		Reward:      make([]linalg.Vector, na),
+		StateNames:  append([]string(nil), b.states...),
+		ActionNames: append([]string(nil), b.actions...),
+	}
+	for a := 0; a < na; a++ {
+		rows := make([]bool, n)
+		for _, e := range b.trans[a] {
+			rows[e.Row] = true
+		}
+		for s, ok := range rows {
+			if !ok {
+				return nil, fmt.Errorf("%w: action %q has no transitions from state %q",
+					ErrInvalidModel, b.actions[a], b.states[s])
+			}
+		}
+		tr, err := linalg.NewCSR(n, n, b.trans[a])
+		if err != nil {
+			return nil, fmt.Errorf("mdp: build action %q: %w", b.actions[a], err)
+		}
+		m.Trans[a] = tr
+		r := linalg.NewVector(n)
+		for s, v := range b.rewards[a] {
+			r[s] = v
+		}
+		m.Reward[a] = r
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,97 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+
+	"bpomdp/internal/linalg"
+)
+
+// PolicyIterationOptions configures PolicyIteration.
+type PolicyIterationOptions struct {
+	// SolveOptions tune the evaluation solves and the discount factor.
+	SolveOptions
+	// InitialPolicy seeds the iteration. For undiscounted (β = 1) negative
+	// models the initial policy must be proper (reach a zero-reward
+	// absorbing set from every state with probability 1), or its evaluation
+	// diverges; ValueIteration has no such requirement. Nil starts from the
+	// policy that greedily maximizes the immediate reward.
+	InitialPolicy []int
+	// MaxPolicyIterations bounds the outer improvement loop. Zero means 1000.
+	MaxPolicyIterations int
+}
+
+// PolicyIteration solves the MDP by Howard's policy iteration: evaluate the
+// current policy exactly (a linear solve on its induced Markov chain), then
+// improve greedily; termination is reached when the policy is stable. On
+// finite MDPs with proper policies this converges in finitely many
+// improvements and typically far fewer sweeps than value iteration.
+//
+// If an intermediate policy's evaluation diverges (possible only for β = 1
+// with an improper policy), the error wraps linalg.ErrNoConvergence;
+// callers can fall back to ValueIteration.
+func PolicyIteration(m *MDP, opts PolicyIterationOptions) (Result, error) {
+	o := opts.SolveOptions.withDefaults()
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxOuter := opts.MaxPolicyIterations
+	if maxOuter == 0 {
+		maxOuter = 1000
+	}
+	n := m.NumStates()
+	policy := make([]int, n)
+	switch {
+	case opts.InitialPolicy != nil:
+		if len(opts.InitialPolicy) != n {
+			return Result{}, fmt.Errorf("mdp: initial policy length %d, want %d", len(opts.InitialPolicy), n)
+		}
+		copy(policy, opts.InitialPolicy)
+	default:
+		for s := 0; s < n; s++ {
+			best, arg := m.Reward[0][s], 0
+			for a := 1; a < m.NumActions(); a++ {
+				if r := m.Reward[a][s]; r > best {
+					best, arg = r, a
+				}
+			}
+			policy[s] = arg
+		}
+	}
+
+	res := Result{}
+	for iter := 0; iter < maxOuter; iter++ {
+		v, err := EvaluatePolicy(m, policy, o)
+		if err != nil {
+			if errors.Is(err, linalg.ErrNoConvergence) {
+				return res, fmt.Errorf("mdp: policy iteration: improper policy at iteration %d: %w", iter, err)
+			}
+			return res, err
+		}
+		q, err := QValues(m, v, o.Beta)
+		if err != nil {
+			return res, err
+		}
+		stable := true
+		for s := 0; s < n; s++ {
+			best, arg := q[policy[s]][s], policy[s]
+			for a := 0; a < m.NumActions(); a++ {
+				if q[a][s] > best+o.Tol {
+					best, arg = q[a][s], a
+				}
+			}
+			if arg != policy[s] {
+				policy[s] = arg
+				stable = false
+			}
+		}
+		res.Iterations = iter + 1
+		if stable {
+			res.Values = v
+			res.Policy = policy
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("mdp: policy iteration did not stabilize in %d improvements: %w",
+		maxOuter, linalg.ErrNoConvergence)
+}

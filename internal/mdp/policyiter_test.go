@@ -1,0 +1,109 @@
+package mdp
+
+import (
+	"errors"
+	"testing"
+
+	"bpomdp/internal/linalg"
+)
+
+func TestPolicyIterationMatchesValueIteration(t *testing.T) {
+	m := twoState(t)
+	for _, beta := range []float64{1, 0.9, 0.5} {
+		vi, err := ValueIteration(m, SolveOptions{Beta: beta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := PolicyIteration(m, PolicyIterationOptions{
+			SolveOptions: SolveOptions{Beta: beta},
+			// "fix" everywhere is proper; needed for beta = 1.
+			InitialPolicy: []int{0, 0},
+		})
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		if d := vi.Values.InfNormDiff(pi.Values); d > 1e-6 {
+			t.Errorf("beta=%v: VI and PI differ by %g", beta, d)
+		}
+		if pi.Policy[0] != vi.Policy[0] {
+			t.Errorf("beta=%v: policies differ: %v vs %v", beta, pi.Policy, vi.Policy)
+		}
+	}
+}
+
+func TestPolicyIterationImproperInitialPolicyDiverges(t *testing.T) {
+	// "wait" forever from the bad state accumulates -2 per step: improper
+	// at beta = 1, and the default greedy-immediate initialization picks
+	// "fix" (-1 beats -2), so force the improper policy explicitly.
+	m := twoState(t)
+	_, err := PolicyIteration(m, PolicyIterationOptions{
+		SolveOptions:  SolveOptions{MaxIter: 5000},
+		InitialPolicy: []int{1, 0},
+	})
+	if !errors.Is(err, linalg.ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestPolicyIterationDefaultInitialization(t *testing.T) {
+	// The greedy-immediate default start ("fix": -1 > "wait": -2) is proper
+	// here and converges without an explicit initial policy.
+	m := twoState(t)
+	res, err := PolicyIteration(m, PolicyIterationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Values[0], -1, 1e-8) {
+		t.Errorf("V(bad) = %v, want -1", res.Values[0])
+	}
+	if res.Iterations < 1 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestPolicyIterationValidation(t *testing.T) {
+	m := twoState(t)
+	if _, err := PolicyIteration(m, PolicyIterationOptions{InitialPolicy: []int{0}}); err == nil {
+		t.Error("short initial policy accepted")
+	}
+	if _, err := PolicyIteration(&MDP{}, PolicyIterationOptions{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestPolicyIterationConvergesFasterThanVIOnChain(t *testing.T) {
+	// A 30-state chain where VI needs ~30 sweeps but PI stabilizes in a
+	// couple of improvements — the classic argument for policy iteration.
+	b := NewBuilder()
+	const n = 30
+	name := func(i int) string {
+		if i == 0 {
+			return "goal"
+		}
+		return "s" + string(rune('A'+i-1))
+	}
+	b.Transition(name(0), "go", name(0), 1)
+	b.Transition(name(0), "stay", name(0), 1)
+	for i := 1; i < n; i++ {
+		b.Transition(name(i), "go", name(i-1), 1)
+		b.Reward(name(i), "go", -1)
+		b.Transition(name(i), "stay", name(i), 1)
+		b.Reward(name(i), "stay", -2)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goEverywhere := make([]int, n)
+	res, err := PolicyIteration(m, PolicyIterationOptions{InitialPolicy: goEverywhere})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Errorf("policy iteration took %d improvements on a chain", res.Iterations)
+	}
+	// V(s_i) = -i under the optimal all-"go" policy.
+	if !almostEqual(res.Values[n-1], -(float64(n) - 1), 1e-6) {
+		t.Errorf("V(farthest) = %v, want %v", res.Values[n-1], -(float64(n) - 1))
+	}
+}

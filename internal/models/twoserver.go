@@ -1,0 +1,109 @@
+// Package models provides small, self-contained recovery models used by the
+// examples, tests, and benchmarks — most importantly the two-redundant-
+// server model of the paper's Figure 1(a).
+package models
+
+import (
+	"fmt"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+)
+
+// TwoServerConfig parameterizes the Figure 1(a) model.
+type TwoServerConfig struct {
+	// Coverage is the probability that the monitor localizes an existing
+	// fault (reports "a failed" when a is faulty). 1 gives the system
+	// recovery notification.
+	Coverage float64
+	// FalsePositive is the probability that the monitor reports either
+	// server failed while the system is healthy. Non-zero values break
+	// recovery notification.
+	FalsePositive float64
+}
+
+// TwoServer names the pieces of the built model.
+type TwoServer struct {
+	// Model is the validated POMDP before any convergence transform.
+	Model *pomdp.POMDP
+	// NullStates is Sφ (the single "null" state).
+	NullStates []int
+	// RateRewards[s] is r̄(s), the cost rate while sitting in state s.
+	RateRewards linalg.Vector
+
+	// Indices for readability in callers.
+	StateNull, StateFaultA, StateFaultB           int
+	ActionRestartA, ActionRestartB, ActionObserve int
+	ObsClear, ObsAFailed, ObsBFailed              int
+}
+
+// NewTwoServer builds the two-redundant-server recovery model of the
+// paper's Figure 1(a): states {null, fault-a, fault-b}, actions
+// {restart-a, restart-b, observe}, and a monitor whose output is the
+// observation alphabet {clear, a-failed, b-failed}.
+//
+// Restarting the faulty server always fixes it (cost 0.5); restarting the
+// healthy one costs 1 and leaves the fault in place; observing a faulty
+// system costs 0.5. The null state accrues no cost under observe, so all
+// Property 1(a) "no free action" costs are confined to Sφ.
+func NewTwoServer(cfg TwoServerConfig) (*TwoServer, error) {
+	if cfg.Coverage < 0 || cfg.Coverage > 1 {
+		return nil, fmt.Errorf("models: coverage %v outside [0,1]", cfg.Coverage)
+	}
+	if cfg.FalsePositive < 0 || cfg.FalsePositive > 0.5 {
+		return nil, fmt.Errorf("models: false positive rate %v outside [0,0.5]", cfg.FalsePositive)
+	}
+	b := pomdp.NewBuilder()
+	ts := &TwoServer{
+		StateNull:      b.State("null"),
+		StateFaultA:    b.State("fault-a"),
+		StateFaultB:    b.State("fault-b"),
+		ActionRestartA: b.Action("restart-a"),
+		ActionRestartB: b.Action("restart-b"),
+		ActionObserve:  b.Action("observe"),
+		ObsClear:       b.Observation("obs-clear"),
+		ObsAFailed:     b.Observation("obs-a-failed"),
+		ObsBFailed:     b.Observation("obs-b-failed"),
+	}
+	actions := []string{"restart-a", "restart-b", "observe"}
+	for _, a := range actions {
+		b.Transition("null", a, "null", 1)
+	}
+	b.Transition("fault-a", "restart-a", "null", 1)
+	b.Transition("fault-a", "restart-b", "fault-a", 1)
+	b.Transition("fault-a", "observe", "fault-a", 1)
+	b.Transition("fault-b", "restart-b", "null", 1)
+	b.Transition("fault-b", "restart-a", "fault-b", 1)
+	b.Transition("fault-b", "observe", "fault-b", 1)
+
+	b.Reward("null", "restart-a", -0.5)
+	b.Reward("null", "restart-b", -0.5)
+	b.Reward("fault-a", "restart-a", -0.5)
+	b.Reward("fault-b", "restart-b", -0.5)
+	b.Reward("fault-a", "restart-b", -1)
+	b.Reward("fault-b", "restart-a", -1)
+	b.Reward("fault-a", "observe", -0.5)
+	b.Reward("fault-b", "observe", -0.5)
+
+	for _, a := range actions {
+		b.Observe("null", a, "obs-clear", 1-2*cfg.FalsePositive)
+		if cfg.FalsePositive > 0 {
+			b.Observe("null", a, "obs-a-failed", cfg.FalsePositive)
+			b.Observe("null", a, "obs-b-failed", cfg.FalsePositive)
+		}
+		b.Observe("fault-a", a, "obs-a-failed", cfg.Coverage)
+		b.Observe("fault-b", a, "obs-b-failed", cfg.Coverage)
+		if cfg.Coverage < 1 {
+			b.Observe("fault-a", a, "obs-clear", 1-cfg.Coverage)
+			b.Observe("fault-b", a, "obs-clear", 1-cfg.Coverage)
+		}
+	}
+	model, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("models: two-server: %w", err)
+	}
+	ts.Model = model
+	ts.NullStates = []int{ts.StateNull}
+	ts.RateRewards = linalg.Vector{0, -0.5, -0.5}
+	return ts, nil
+}

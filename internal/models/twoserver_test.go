@@ -1,0 +1,58 @@
+package models
+
+import (
+	"testing"
+
+	"bpomdp/internal/pomdp"
+)
+
+func TestNewTwoServerValid(t *testing.T) {
+	ts, err := NewTwoServer(TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Model.NumStates() != 3 || ts.Model.NumActions() != 3 || ts.Model.NumObservations() != 3 {
+		t.Errorf("shape %d/%d/%d", ts.Model.NumStates(), ts.Model.NumActions(), ts.Model.NumObservations())
+	}
+	if !ts.Model.M.AllRewardsNonPositive() {
+		t.Error("Condition 2 violated")
+	}
+	reach := ts.Model.M.CanReach(ts.NullStates)
+	for s, ok := range reach {
+		if !ok {
+			t.Errorf("Condition 1 violated: state %d cannot reach Sφ", s)
+		}
+	}
+}
+
+func TestNewTwoServerNotificationRegimes(t *testing.T) {
+	perfect, err := NewTwoServer(TwoServerConfig{Coverage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := pomdp.HasRecoveryNotification(perfect.Model, perfect.NullStates); !got {
+		t.Error("perfect monitor should have recovery notification")
+	}
+	noisy, err := NewTwoServer(TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := pomdp.HasRecoveryNotification(noisy.Model, noisy.NullStates); got {
+		t.Error("noisy monitor should not have recovery notification")
+	}
+}
+
+func TestNewTwoServerRejectsBadConfig(t *testing.T) {
+	if _, err := NewTwoServer(TwoServerConfig{Coverage: 1.5}); err == nil {
+		t.Error("coverage > 1 accepted")
+	}
+	if _, err := NewTwoServer(TwoServerConfig{Coverage: 1, FalsePositive: 0.7}); err == nil {
+		t.Error("false positive > 0.5 accepted")
+	}
+	if _, err := NewTwoServer(TwoServerConfig{Coverage: -0.1}); err == nil {
+		t.Error("negative coverage accepted")
+	}
+}

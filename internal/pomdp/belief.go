@@ -1,0 +1,181 @@
+package pomdp
+
+import (
+	"fmt"
+	"math"
+
+	"bpomdp/internal/linalg"
+)
+
+// Belief is a probability distribution over the POMDP's states — a point in
+// the |S|-dimensional probability simplex Π.
+type Belief linalg.Vector
+
+// UniformBelief returns the belief in which all n states are equally likely
+// — the paper's starting belief {1/|S|}.
+func UniformBelief(n int) Belief {
+	b := make(Belief, n)
+	inv := 1 / float64(n)
+	for i := range b {
+		b[i] = inv
+	}
+	return b
+}
+
+// UniformOver returns the belief uniform over the given state subset.
+func UniformOver(n int, states []int) (Belief, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("pomdp: UniformOver with empty state set")
+	}
+	b := make(Belief, n)
+	inv := 1 / float64(len(states))
+	for _, s := range states {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("pomdp: state %d out of range [0,%d)", s, n)
+		}
+		b[s] += inv
+	}
+	return b, nil
+}
+
+// PointBelief returns the belief concentrated on state s.
+func PointBelief(n, s int) Belief {
+	b := make(Belief, n)
+	b[s] = 1
+	return b
+}
+
+// Clone returns a deep copy of b.
+func (b Belief) Clone() Belief {
+	return Belief(linalg.Vector(b).Clone())
+}
+
+// Vec views the belief as a linalg.Vector without copying.
+func (b Belief) Vec() linalg.Vector { return linalg.Vector(b) }
+
+// IsDistribution reports whether b is a valid probability distribution:
+// non-negative entries summing to 1 within tolerance.
+func (b Belief) IsDistribution() bool {
+	var sum float64
+	for _, x := range b {
+		if x < -stochasticTol || math.IsNaN(x) {
+			return false
+		}
+		sum += x
+	}
+	return math.Abs(sum-1) <= 1e-6
+}
+
+// Mass returns the total probability the belief assigns to the state set.
+func (b Belief) Mass(states []int) float64 {
+	var m float64
+	for _, s := range states {
+		if s >= 0 && s < len(b) {
+			m += b[s]
+		}
+	}
+	return m
+}
+
+// MostLikely returns the state with maximum probability and that probability.
+func (b Belief) MostLikely() (state int, prob float64) {
+	p, s := linalg.Vector(b).Max()
+	return s, p
+}
+
+// Predict computes, in place into dst, the one-step-ahead state distribution
+// pred(s) = Σ_s' p(s|s',a)·π(s') of Equation 3's inner sum.
+func (p *POMDP) Predict(dst linalg.Vector, pi Belief, a int) linalg.Vector {
+	return p.M.Trans[a].MulVecT(dst, linalg.Vector(pi))
+}
+
+// Gamma computes γ^{π,a}(o) for every observation o (Equation 3): the
+// probability that observation o is generated when action a is chosen in
+// belief π. The result is written into scratch and remains valid until the
+// next call using the same Scratch.
+func (p *POMDP) Gamma(sc *Scratch, pi Belief, a int) linalg.Vector {
+	p.Predict(sc.pred, pi, a)
+	// γ(o) = Σ_s pred(s)·q(o|s,a)  =  (Obs[a]ᵀ · pred)(o)
+	return p.Obs[a].MulVecT(sc.gamma, sc.pred)
+}
+
+// Update performs the Bayes belief update of Equation 4, returning the next
+// belief π^{π,a,o} given that action a was chosen in belief π and
+// observation o was received. It returns ErrImpossibleObservation when
+// γ^{π,a}(o) = 0.
+func (p *POMDP) Update(sc *Scratch, pi Belief, a, o int) (Belief, error) {
+	if a < 0 || a >= p.NumActions() {
+		return nil, fmt.Errorf("pomdp: action %d out of range [0,%d)", a, p.NumActions())
+	}
+	if o < 0 || o >= p.NumObservations() {
+		return nil, fmt.Errorf("pomdp: observation %d out of range [0,%d)", o, p.NumObservations())
+	}
+	p.Predict(sc.pred, pi, a)
+	next := make(Belief, p.NumStates())
+	var norm float64
+	for s := range next {
+		v := sc.pred[s] * p.Obs[a].At(s, o)
+		next[s] = v
+		norm += v
+	}
+	if norm <= 0 {
+		return nil, fmt.Errorf("pomdp: action %s observation %s: %w",
+			p.M.ActionName(a), p.ObsName(o), ErrImpossibleObservation)
+	}
+	linalg.Vector(next).Scale(1 / norm)
+	return next, nil
+}
+
+// Successor couples one observation's probability with the belief that
+// results from it.
+type Successor struct {
+	Obs    int
+	Prob   float64
+	Belief Belief
+}
+
+// Successors enumerates, for action a taken in belief π, every observation
+// with positive probability together with its posterior belief. This is the
+// branching step of the Max-Avg recursion tree (Figure 1(b)) and of the
+// incremental bound update (Equation 7).
+func (p *POMDP) Successors(sc *Scratch, pi Belief, a int) []Successor {
+	p.Predict(sc.pred, pi, a)
+	n, no := p.NumStates(), p.NumObservations()
+
+	// weights[o][s] = pred(s)·q(o|s,a); built sparsely by walking Obs rows.
+	gamma := sc.gamma
+	gamma.Fill(0)
+	posts := make([]linalg.Vector, no)
+	for s := 0; s < n; s++ {
+		ps := sc.pred[s]
+		if ps == 0 {
+			continue
+		}
+		p.Obs[a].Row(s, func(o int, q float64) {
+			w := ps * q
+			if w == 0 {
+				return
+			}
+			if posts[o] == nil {
+				posts[o] = linalg.NewVector(n)
+			}
+			posts[o][s] += w
+			gamma[o] += w
+		})
+	}
+	out := make([]Successor, 0, no)
+	for o := 0; o < no; o++ {
+		if gamma[o] <= 0 || posts[o] == nil {
+			continue
+		}
+		posts[o].Scale(1 / gamma[o])
+		out = append(out, Successor{Obs: o, Prob: gamma[o], Belief: Belief(posts[o])})
+	}
+	return out
+}
+
+// ExpectedReward returns π·r(a), the immediate expected reward of choosing
+// action a in belief π.
+func (p *POMDP) ExpectedReward(pi Belief, a int) float64 {
+	return linalg.Vector(pi).Dot(p.M.Reward[a])
+}

@@ -1,0 +1,102 @@
+package pomdp
+
+import (
+	"fmt"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/mdp"
+)
+
+// Builder assembles a POMDP incrementally. It wraps an mdp.Builder for the
+// (S, A, p, r) part and adds the observation function q.
+type Builder struct {
+	m       *mdp.Builder
+	obsIdx  map[string]int
+	obs     []string
+	entries map[int][]obsEntry // action -> (state, obs, prob)
+}
+
+type obsEntry struct {
+	state, obs int
+	prob       float64
+}
+
+// NewBuilder returns an empty POMDP builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		m:       mdp.NewBuilder(),
+		obsIdx:  make(map[string]int),
+		entries: make(map[int][]obsEntry),
+	}
+}
+
+// State interns a state name and returns its index.
+func (b *Builder) State(name string) int { return b.m.State(name) }
+
+// Action interns an action name and returns its index.
+func (b *Builder) Action(name string) int { return b.m.Action(name) }
+
+// Observation interns an observation name and returns its index.
+func (b *Builder) Observation(name string) int {
+	if i, ok := b.obsIdx[name]; ok {
+		return i
+	}
+	i := len(b.obs)
+	b.obsIdx[name] = i
+	b.obs = append(b.obs, name)
+	return i
+}
+
+// Transition adds p(to|from, action) += prob.
+func (b *Builder) Transition(from, action, to string, prob float64) {
+	b.m.Transition(from, action, to, prob)
+}
+
+// Reward sets r(state, action).
+func (b *Builder) Reward(state, action string, r float64) {
+	b.m.Reward(state, action, r)
+}
+
+// Observe adds q(obs | state, action) += prob: the probability of seeing obs
+// when the system lands in state as a result of action.
+func (b *Builder) Observe(state, action, obs string, prob float64) {
+	a := b.Action(action)
+	b.entries[a] = append(b.entries[a], obsEntry{
+		state: b.State(state),
+		obs:   b.Observation(obs),
+		prob:  prob,
+	})
+}
+
+// Build finalizes and validates the POMDP. Every (state, action) pair must
+// have an observation row summing to one.
+func (b *Builder) Build() (*POMDP, error) {
+	m, err := b.m.Build()
+	if err != nil {
+		return nil, err
+	}
+	n, na, no := m.NumStates(), m.NumActions(), len(b.obs)
+	if no == 0 {
+		return nil, fmt.Errorf("%w: no observations", ErrInvalidModel)
+	}
+	p := &POMDP{
+		M:        m,
+		Obs:      make([]*linalg.CSR, na),
+		ObsNames: append([]string(nil), b.obs...),
+	}
+	for a := 0; a < na; a++ {
+		ob := linalg.NewBuilder(n, no)
+		for _, e := range b.entries[a] {
+			ob.Add(e.state, e.obs, e.prob)
+		}
+		om, err := ob.Build()
+		if err != nil {
+			return nil, fmt.Errorf("pomdp: build observations for %q: %w", m.ActionName(a), err)
+		}
+		p.Obs[a] = om
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

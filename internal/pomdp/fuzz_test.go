@@ -1,0 +1,44 @@
+package pomdp
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalModel ensures the model decoder never panics and that any
+// model it accepts actually validates — the decoder is the trust boundary
+// for user-supplied model files (modelinfo/recoverd -model file.json).
+func FuzzUnmarshalModel(f *testing.F) {
+	valid := `{"states":["null","bad"],"actions":["fix"],"observations":["o"],
+		"transitions":[{"action":"fix","from":"null","to":"null","prob":1},
+		               {"action":"fix","from":"bad","to":"null","prob":1}],
+		"observationProbs":[{"action":"fix","state":"null","obs":"o","prob":1},
+		                    {"action":"fix","state":"bad","obs":"o","prob":1}],
+		"rewards":[{"action":"fix","state":"bad","reward":-1}]}`
+	f.Add([]byte(valid))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"states":["s"],"actions":["a"],"observations":["o"]}`))
+	f.Add([]byte(`{"states":["s"],"actions":["a"],"observations":["o"],
+		"transitions":[{"action":"a","from":"s","to":"s","prob":0.5}],
+		"observationProbs":[{"action":"a","state":"s","obs":"o","prob":1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"states":["s","s"],"actions":["a"],"observations":["o"]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalModel(data)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must be a fully valid model.
+		if vErr := p.Validate(); vErr != nil {
+			t.Fatalf("decoder accepted an invalid model: %v\ninput: %q", vErr, data)
+		}
+		// And it must round-trip.
+		out, err := MarshalModel(p)
+		if err != nil {
+			t.Fatalf("accepted model failed to marshal: %v", err)
+		}
+		if _, err := UnmarshalModel(out); err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+	})
+}

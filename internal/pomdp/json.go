@@ -1,0 +1,141 @@
+package pomdp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the interchange representation of a POMDP: a sparse,
+// name-based encoding that is stable under state/action reordering and easy
+// to inspect or hand-edit.
+type modelJSON struct {
+	States       []string          `json:"states"`
+	Actions      []string          `json:"actions"`
+	Observations []string          `json:"observations"`
+	Transitions  []transitionJSON  `json:"transitions"`
+	ObsProbs     []observationJSON `json:"observationProbs"`
+	Rewards      []rewardJSON      `json:"rewards"`
+}
+
+type transitionJSON struct {
+	Action string  `json:"action"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Prob   float64 `json:"prob"`
+}
+
+type observationJSON struct {
+	Action string  `json:"action"`
+	State  string  `json:"state"`
+	Obs    string  `json:"obs"`
+	Prob   float64 `json:"prob"`
+}
+
+type rewardJSON struct {
+	Action string  `json:"action"`
+	State  string  `json:"state"`
+	Reward float64 `json:"reward"`
+}
+
+// MarshalModel encodes a validated POMDP as JSON.
+func MarshalModel(p *POMDP) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, na, no := p.NumStates(), p.NumActions(), p.NumObservations()
+	mj := modelJSON{
+		States:       make([]string, n),
+		Actions:      make([]string, na),
+		Observations: make([]string, no),
+	}
+	for s := 0; s < n; s++ {
+		mj.States[s] = p.M.StateName(s)
+	}
+	for a := 0; a < na; a++ {
+		mj.Actions[a] = p.M.ActionName(a)
+	}
+	for o := 0; o < no; o++ {
+		mj.Observations[o] = p.ObsName(o)
+	}
+	for a := 0; a < na; a++ {
+		for s := 0; s < n; s++ {
+			p.M.Trans[a].Row(s, func(c int, v float64) {
+				mj.Transitions = append(mj.Transitions, transitionJSON{
+					Action: mj.Actions[a], From: mj.States[s], To: mj.States[c], Prob: v,
+				})
+			})
+			p.Obs[a].Row(s, func(o int, v float64) {
+				mj.ObsProbs = append(mj.ObsProbs, observationJSON{
+					Action: mj.Actions[a], State: mj.States[s], Obs: mj.Observations[o], Prob: v,
+				})
+			})
+			if r := p.M.Reward[a][s]; r != 0 {
+				mj.Rewards = append(mj.Rewards, rewardJSON{
+					Action: mj.Actions[a], State: mj.States[s], Reward: r,
+				})
+			}
+		}
+	}
+	return json.MarshalIndent(mj, "", "  ")
+}
+
+// UnmarshalModel decodes and validates a POMDP from its JSON representation.
+func UnmarshalModel(data []byte) (*POMDP, error) {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return nil, fmt.Errorf("pomdp: decode model: %w", err)
+	}
+	b := NewBuilder()
+	// Intern in declared order so indices round-trip.
+	for _, s := range mj.States {
+		b.State(s)
+	}
+	for _, a := range mj.Actions {
+		b.Action(a)
+	}
+	for _, o := range mj.Observations {
+		b.Observation(o)
+	}
+	known := func(kind, name string, names []string) error {
+		for _, n := range names {
+			if n == name {
+				return nil
+			}
+		}
+		return fmt.Errorf("pomdp: decode model: unknown %s %q", kind, name)
+	}
+	for _, tr := range mj.Transitions {
+		if err := known("action", tr.Action, mj.Actions); err != nil {
+			return nil, err
+		}
+		if err := known("state", tr.From, mj.States); err != nil {
+			return nil, err
+		}
+		if err := known("state", tr.To, mj.States); err != nil {
+			return nil, err
+		}
+		b.Transition(tr.From, tr.Action, tr.To, tr.Prob)
+	}
+	for _, op := range mj.ObsProbs {
+		if err := known("action", op.Action, mj.Actions); err != nil {
+			return nil, err
+		}
+		if err := known("state", op.State, mj.States); err != nil {
+			return nil, err
+		}
+		if err := known("observation", op.Obs, mj.Observations); err != nil {
+			return nil, err
+		}
+		b.Observe(op.State, op.Action, op.Obs, op.Prob)
+	}
+	for _, rw := range mj.Rewards {
+		if err := known("action", rw.Action, mj.Actions); err != nil {
+			return nil, err
+		}
+		if err := known("state", rw.State, mj.States); err != nil {
+			return nil, err
+		}
+		b.Reward(rw.State, rw.Action, rw.Reward)
+	}
+	return b.Build()
+}

@@ -1,0 +1,342 @@
+package pomdp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bpomdp/internal/rng"
+)
+
+// twoServer builds the paper's Figure 1(a) example extended with a noisy
+// monitor: two redundant servers a and b, restart actions, and a passive
+// observe action. With coverage < 1 or false positives > 0 the model lacks
+// recovery notification.
+func twoServer(t *testing.T, coverage, falsePositive float64) *POMDP {
+	t.Helper()
+	b := NewBuilder()
+	states := []string{"null", "fault-a", "fault-b"}
+	actions := []string{"restart-a", "restart-b", "observe"}
+	for _, s := range states {
+		b.State(s)
+	}
+	for _, a := range actions {
+		b.Action(a)
+	}
+	b.Observation("obs-clear")
+	b.Observation("obs-a-failed")
+	b.Observation("obs-b-failed")
+
+	// Dynamics: restarting the faulty server fixes it; anything else is a
+	// no-op on the fault state.
+	for _, a := range actions {
+		b.Transition("null", a, "null", 1)
+	}
+	b.Transition("fault-a", "restart-a", "null", 1)
+	b.Transition("fault-a", "restart-b", "fault-a", 1)
+	b.Transition("fault-a", "observe", "fault-a", 1)
+	b.Transition("fault-b", "restart-b", "null", 1)
+	b.Transition("fault-b", "restart-a", "fault-b", 1)
+	b.Transition("fault-b", "observe", "fault-b", 1)
+
+	// Costs (negative rewards): restarts cost 0.5; a restart that misses the
+	// fault costs 1 (fault persists and a healthy server went down);
+	// observing a faulty system costs 0.5; observing a healthy one is free.
+	b.Reward("null", "restart-a", -0.5)
+	b.Reward("null", "restart-b", -0.5)
+	b.Reward("fault-a", "restart-a", -0.5)
+	b.Reward("fault-b", "restart-b", -0.5)
+	b.Reward("fault-a", "restart-b", -1)
+	b.Reward("fault-b", "restart-a", -1)
+	b.Reward("fault-a", "observe", -0.5)
+	b.Reward("fault-b", "observe", -0.5)
+
+	// Monitor: in a fault state it localizes the fault w.p. coverage and
+	// reports all-clear otherwise; in the null state it reports all-clear
+	// except for symmetric false positives.
+	for _, a := range actions {
+		b.Observe("null", a, "obs-clear", 1-2*falsePositive)
+		if falsePositive > 0 {
+			b.Observe("null", a, "obs-a-failed", falsePositive)
+			b.Observe("null", a, "obs-b-failed", falsePositive)
+		}
+		b.Observe("fault-a", a, "obs-a-failed", coverage)
+		b.Observe("fault-b", a, "obs-b-failed", coverage)
+		if coverage < 1 {
+			b.Observe("fault-a", a, "obs-clear", 1-coverage)
+			b.Observe("fault-b", a, "obs-clear", 1-coverage)
+		}
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBuilderBuildsValidModel(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 3 || p.NumActions() != 3 || p.NumObservations() != 3 {
+		t.Errorf("shape = %d/%d/%d", p.NumStates(), p.NumActions(), p.NumObservations())
+	}
+	if p.ObsName(0) != "obs-clear" || p.ObsName(99) != "o99" {
+		t.Errorf("obs names: %q %q", p.ObsName(0), p.ObsName(99))
+	}
+}
+
+func TestBuilderRejectsMissingObservations(t *testing.T) {
+	b := NewBuilder()
+	b.Transition("s", "go", "s", 1)
+	b.Observation("o")
+	// No Observe rows at all: row sums are 0, not 1.
+	if _, err := b.Build(); !errors.Is(err, ErrInvalidModel) {
+		t.Errorf("err = %v, want ErrInvalidModel", err)
+	}
+}
+
+func TestBuilderRejectsNoObservationAlphabet(t *testing.T) {
+	b := NewBuilder()
+	b.Transition("s", "go", "s", 1)
+	if _, err := b.Build(); !errors.Is(err, ErrInvalidModel) {
+		t.Errorf("err = %v, want ErrInvalidModel", err)
+	}
+}
+
+func TestValidateNonStochasticObservations(t *testing.T) {
+	b := NewBuilder()
+	b.Transition("s", "go", "s", 1)
+	b.Observe("s", "go", "o", 0.5) // sums to 0.5
+	if _, err := b.Build(); !errors.Is(err, ErrInvalidModel) {
+		t.Errorf("err = %v, want ErrInvalidModel", err)
+	}
+}
+
+func TestBeliefConstructors(t *testing.T) {
+	u := UniformBelief(4)
+	if !u.IsDistribution() {
+		t.Error("uniform belief not a distribution")
+	}
+	for _, x := range u {
+		if !almostEqual(x, 0.25, 1e-12) {
+			t.Errorf("uniform entry %v", x)
+		}
+	}
+	pb := PointBelief(3, 1)
+	if s, p := pb.MostLikely(); s != 1 || p != 1 {
+		t.Errorf("point belief most likely = (%d, %v)", s, p)
+	}
+	uo, err := UniformOver(5, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uo[1] != 0.5 || uo[3] != 0.5 || uo[0] != 0 {
+		t.Errorf("UniformOver = %v", uo)
+	}
+	if _, err := UniformOver(5, nil); err == nil {
+		t.Error("empty UniformOver accepted")
+	}
+	if _, err := UniformOver(5, []int{9}); err == nil {
+		t.Error("out-of-range UniformOver accepted")
+	}
+}
+
+func TestBeliefHelpers(t *testing.T) {
+	b := Belief{0.2, 0.3, 0.5}
+	if !b.IsDistribution() {
+		t.Error("valid belief rejected")
+	}
+	if (Belief{0.5, 0.6}).IsDistribution() {
+		t.Error("over-mass belief accepted")
+	}
+	if (Belief{-0.1, 1.1}).IsDistribution() {
+		t.Error("negative belief accepted")
+	}
+	if got := b.Mass([]int{0, 2}); !almostEqual(got, 0.7, 1e-12) {
+		t.Errorf("Mass = %v", got)
+	}
+	if got := b.Mass([]int{-1, 99}); got != 0 {
+		t.Errorf("Mass of bogus states = %v", got)
+	}
+	c := b.Clone()
+	c[0] = 9
+	if b[0] != 0.2 {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestGammaIsDistribution(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	sc := NewScratch(p)
+	pi := UniformBelief(3)
+	for a := 0; a < p.NumActions(); a++ {
+		g := p.Gamma(sc, pi, a)
+		if !almostEqual(g.Sum(), 1, 1e-9) {
+			t.Errorf("action %d: gamma sums to %v", a, g.Sum())
+		}
+		for o, x := range g {
+			if x < 0 {
+				t.Errorf("gamma[%d] = %v < 0", o, x)
+			}
+		}
+	}
+}
+
+func TestUpdateBayesHandExample(t *testing.T) {
+	// Perfect-coverage monitor, no false positives: observing "obs-a-failed"
+	// after "observe" from the uniform belief must put all mass on fault-a.
+	p := twoServer(t, 1.0, 0)
+	sc := NewScratch(p)
+	pi := UniformBelief(3)
+	aObserve := 2
+	oAFailed := 1
+	next, err := p.Update(sc, pi, aObserve, oAFailed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(next[1], 1, 1e-12) {
+		t.Errorf("posterior = %v, want mass 1 on fault-a", next)
+	}
+}
+
+func TestUpdateNoisyPosterior(t *testing.T) {
+	// coverage 0.9, fp 0.05. Observe from uniform prior; see obs-a-failed.
+	// posterior ∝ [1/3*0.05, 1/3*0.9, 0] (observe leaves state unchanged).
+	p := twoServer(t, 0.9, 0.05)
+	sc := NewScratch(p)
+	next, err := p.Update(sc, UniformBelief(3), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNull := 0.05 / 0.95
+	wantA := 0.9 / 0.95
+	if !almostEqual(next[0], wantNull, 1e-9) || !almostEqual(next[1], wantA, 1e-9) || !almostEqual(next[2], 0, 1e-12) {
+		t.Errorf("posterior = %v, want [%v %v 0]", next, wantNull, wantA)
+	}
+}
+
+func TestUpdateImpossibleObservation(t *testing.T) {
+	p := twoServer(t, 1.0, 0)
+	sc := NewScratch(p)
+	// From a point belief on null with perfect monitor, obs-a-failed is
+	// impossible.
+	_, err := p.Update(sc, PointBelief(3, 0), 2, 1)
+	if !errors.Is(err, ErrImpossibleObservation) {
+		t.Errorf("err = %v, want ErrImpossibleObservation", err)
+	}
+}
+
+func TestUpdateRangeErrors(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	sc := NewScratch(p)
+	if _, err := p.Update(sc, UniformBelief(3), 99, 0); err == nil {
+		t.Error("bad action accepted")
+	}
+	if _, err := p.Update(sc, UniformBelief(3), 0, 99); err == nil {
+		t.Error("bad observation accepted")
+	}
+}
+
+func TestSuccessorsConsistentWithUpdate(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	sc := NewScratch(p)
+	sc2 := NewScratch(p)
+	pi := Belief{0.1, 0.6, 0.3}
+	for a := 0; a < p.NumActions(); a++ {
+		succs := p.Successors(sc, pi, a)
+		var total float64
+		for _, s := range succs {
+			total += s.Prob
+			if !s.Belief.IsDistribution() {
+				t.Errorf("successor belief not a distribution: %v", s.Belief)
+			}
+			upd, err := p.Update(sc2, pi, a, s.Obs)
+			if err != nil {
+				t.Fatalf("Update for successor obs %d: %v", s.Obs, err)
+			}
+			for i := range upd {
+				if !almostEqual(upd[i], s.Belief[i], 1e-9) {
+					t.Errorf("action %d obs %d: Successors %v != Update %v", a, s.Obs, s.Belief, upd)
+					break
+				}
+			}
+		}
+		if !almostEqual(total, 1, 1e-9) {
+			t.Errorf("action %d successor probs sum to %v", a, total)
+		}
+	}
+}
+
+func TestExpectedReward(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	pi := Belief{0.5, 0.5, 0}
+	// restart-a: 0.5*(-0.5) + 0.5*(-0.5) = -0.5.
+	if got := p.ExpectedReward(pi, 0); !almostEqual(got, -0.5, 1e-12) {
+		t.Errorf("ExpectedReward = %v, want -0.5", got)
+	}
+}
+
+func TestBackupZeroLeafIsMaxImmediateReward(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	sc := NewScratch(p)
+	pi := Belief{0, 1, 0} // fault-a for sure
+	res, err := Backup(p, sc, pi, 1, ValueFunc(func(Belief) float64 { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediate rewards: restart-a -0.5, restart-b -1, observe -0.5 — the max
+	// is -0.5 (tie between restart-a and observe).
+	if !almostEqual(res.Value, -0.5, 1e-12) {
+		t.Errorf("Backup value = %v, want -0.5", res.Value)
+	}
+	if len(res.QValues) != 3 {
+		t.Fatalf("QValues len = %d", len(res.QValues))
+	}
+	if !almostEqual(res.QValues[1], -1, 1e-12) {
+		t.Errorf("Q(restart-b) = %v, want -1", res.QValues[1])
+	}
+}
+
+func TestBackupValidation(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	sc := NewScratch(p)
+	zero := ValueFunc(func(Belief) float64 { return 0 })
+	if _, err := Backup(p, sc, Belief{1}, 1, zero); err == nil {
+		t.Error("short belief accepted")
+	}
+	if _, err := Backup(p, sc, UniformBelief(3), 1.5, zero); err == nil {
+		t.Error("beta=1.5 accepted")
+	}
+}
+
+// Property: Bayes updates stay on the probability simplex for random
+// beliefs, actions, and reachable observations.
+func TestUpdateStaysOnSimplex(t *testing.T) {
+	p := twoServer(t, 0.8, 0.1)
+	sc := NewScratch(p)
+	r := rng.New(99)
+	for trial := 0; trial < 500; trial++ {
+		raw := []float64{r.Float64(), r.Float64(), r.Float64()}
+		pi := Belief(raw)
+		if !pi.Vec().Normalize() {
+			continue
+		}
+		a := r.IntN(p.NumActions())
+		succs := p.Successors(sc, pi, a)
+		if len(succs) == 0 {
+			t.Fatalf("no successors for belief %v action %d", pi, a)
+		}
+		idx := r.IntN(len(succs))
+		next, err := p.Update(sc, pi, a, succs[idx].Obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !next.IsDistribution() {
+			t.Fatalf("update left simplex: %v", next)
+		}
+	}
+}

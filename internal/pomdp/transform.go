@@ -1,0 +1,272 @@
+package pomdp
+
+import (
+	"fmt"
+	"sort"
+
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/mdp"
+)
+
+// TerminateActionName is the label given to the terminate action a_T added
+// by WithTermination.
+const TerminateActionName = "terminate"
+
+// TerminatedStateName is the label given to the absorbing state s_T added by
+// WithTermination.
+const TerminatedStateName = "terminated"
+
+// TerminatedObsName is the label of the observation deterministically
+// emitted from s_T, keeping the transformed observation function stochastic.
+const TerminatedObsName = "obs:terminated"
+
+// AbsorbNullStates returns a copy of the model in which every action taken
+// in a null-fault state s ∈ Sφ loops back to s with probability 1 and reward
+// 0 — the paper's Section 3.1 modification for systems WITH recovery
+// notification. With Condition 1 it makes all of Sφ absorbing and zero-
+// reward so the RA-Bound chain converges. Observations from Sφ states are
+// left untouched. The input model is not modified.
+func AbsorbNullStates(p *POMDP, nullStates []int) (*POMDP, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumStates()
+	isNull, err := stateSet(n, nullStates)
+	if err != nil {
+		return nil, err
+	}
+	out := &POMDP{
+		M: &mdp.MDP{
+			Trans:       make([]*linalg.CSR, p.NumActions()),
+			Reward:      make([]linalg.Vector, p.NumActions()),
+			StateNames:  append([]string(nil), p.M.StateNames...),
+			ActionNames: append([]string(nil), p.M.ActionNames...),
+		},
+		Obs:      append([]*linalg.CSR(nil), p.Obs...),
+		ObsNames: append([]string(nil), p.ObsNames...),
+	}
+	for a := 0; a < p.NumActions(); a++ {
+		b := linalg.NewBuilder(n, n)
+		for s := 0; s < n; s++ {
+			if isNull[s] {
+				b.Add(s, s, 1)
+				continue
+			}
+			p.M.Trans[a].Row(s, func(c int, v float64) { b.Add(s, c, v) })
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("pomdp: absorb null states: %w", err)
+		}
+		out.M.Trans[a] = tr
+		r := p.M.Reward[a].Clone()
+		for s := 0; s < n; s++ {
+			if isNull[s] {
+				r[s] = 0
+			}
+		}
+		out.M.Reward[a] = r
+	}
+	return out, nil
+}
+
+// TerminationConfig parameterizes WithTermination.
+type TerminationConfig struct {
+	// NullStates is Sφ; termination from these states is free.
+	NullStates []int
+	// OperatorResponseTime is t_op, the designer-friendly time a human
+	// operator needs to respond to a fault that the controller abandoned.
+	OperatorResponseTime float64
+	// RateReward[s] is r̄(s) ≤ 0, the reward (cost) rate the system accrues
+	// per unit time while in state s with no recovery in progress. The
+	// termination reward is r(s, a_T) = r̄(s)·t_op for s ∉ Sφ.
+	RateReward linalg.Vector
+}
+
+// WithTermination returns a copy of the model extended with the absorbing
+// state s_T and the terminate action a_T of Section 3.1 (systems WITHOUT
+// recovery notification):
+//
+//   - s_T: ∀a, r(s_T, a) = 0 and p(s_T|s_T, a) = 1;
+//   - a_T: ∀s, p(s_T|s, a_T) = 1, with reward r(s, a_T) = r̄(s)·t_op for
+//     s ∉ Sφ and 0 for s ∈ Sφ.
+//
+// A fresh deterministic observation is emitted from s_T so the observation
+// function stays stochastic; the controller halts when it picks a_T, so the
+// observation is never consulted. The indices of the new state, action and
+// observation are returned alongside the new model.
+func WithTermination(p *POMDP, cfg TerminationConfig) (*POMDP, TerminationIndices, error) {
+	var idx TerminationIndices
+	if err := p.Validate(); err != nil {
+		return nil, idx, err
+	}
+	n := p.NumStates()
+	isNull, err := stateSet(n, cfg.NullStates)
+	if err != nil {
+		return nil, idx, err
+	}
+	if cfg.OperatorResponseTime < 0 {
+		return nil, idx, fmt.Errorf("pomdp: negative operator response time %v", cfg.OperatorResponseTime)
+	}
+	if len(cfg.RateReward) != n {
+		return nil, idx, fmt.Errorf("pomdp: rate reward length %d, want %d", len(cfg.RateReward), n)
+	}
+	for s, r := range cfg.RateReward {
+		if r > 0 {
+			return nil, idx, fmt.Errorf("pomdp: rate reward %v > 0 at state %s violates Condition 2",
+				r, p.M.StateName(s))
+		}
+	}
+
+	nNew := n + 1
+	sT := n
+	aT := p.NumActions()
+	oT := p.NumObservations()
+	noNew := oT + 1
+
+	out := &POMDP{
+		M: &mdp.MDP{
+			Trans:       make([]*linalg.CSR, aT+1),
+			Reward:      make([]linalg.Vector, aT+1),
+			StateNames:  append(append([]string(nil), p.M.StateNames...), TerminatedStateName),
+			ActionNames: append(append([]string(nil), p.M.ActionNames...), TerminateActionName),
+		},
+		Obs:      make([]*linalg.CSR, aT+1),
+		ObsNames: append(append([]string(nil), p.ObsNames...), TerminatedObsName),
+	}
+	// Existing actions: same dynamics, s_T absorbs with reward 0.
+	for a := 0; a < aT; a++ {
+		tb := linalg.NewBuilder(nNew, nNew)
+		for s := 0; s < n; s++ {
+			p.M.Trans[a].Row(s, func(c int, v float64) { tb.Add(s, c, v) })
+		}
+		tb.Add(sT, sT, 1)
+		tr, err := tb.Build()
+		if err != nil {
+			return nil, idx, fmt.Errorf("pomdp: with termination: %w", err)
+		}
+		out.M.Trans[a] = tr
+
+		r := linalg.NewVector(nNew)
+		copy(r, p.M.Reward[a])
+		out.M.Reward[a] = r
+
+		ob := linalg.NewBuilder(nNew, noNew)
+		for s := 0; s < n; s++ {
+			p.Obs[a].Row(s, func(o int, v float64) { ob.Add(s, o, v) })
+		}
+		ob.Add(sT, oT, 1)
+		om, err := ob.Build()
+		if err != nil {
+			return nil, idx, fmt.Errorf("pomdp: with termination observations: %w", err)
+		}
+		out.Obs[a] = om
+	}
+	// Terminate action a_T: every state jumps to s_T.
+	tb := linalg.NewBuilder(nNew, nNew)
+	rT := linalg.NewVector(nNew)
+	for s := 0; s < nNew; s++ {
+		tb.Add(s, sT, 1)
+	}
+	for s := 0; s < n; s++ {
+		if !isNull[s] {
+			rT[s] = cfg.RateReward[s] * cfg.OperatorResponseTime
+		}
+	}
+	tr, err := tb.Build()
+	if err != nil {
+		return nil, idx, fmt.Errorf("pomdp: terminate action: %w", err)
+	}
+	out.M.Trans[aT] = tr
+	out.M.Reward[aT] = rT
+
+	ob := linalg.NewBuilder(nNew, noNew)
+	for s := 0; s < nNew; s++ {
+		ob.Add(s, oT, 1)
+	}
+	om, err := ob.Build()
+	if err != nil {
+		return nil, idx, fmt.Errorf("pomdp: terminate observations: %w", err)
+	}
+	out.Obs[aT] = om
+
+	idx = TerminationIndices{State: sT, Action: aT, Observation: oT}
+	return out, idx, nil
+}
+
+// TerminationIndices reports where WithTermination placed the new state,
+// action, and observation.
+type TerminationIndices struct {
+	State       int // s_T
+	Action      int // a_T
+	Observation int // the deterministic "terminated" observation
+}
+
+// HasRecoveryNotification implements the check the paper leaves to future
+// work ("we believe that it is possible to automatically determine whether a
+// system has recovery notification by examining the observation function q",
+// §3.1). The system has recovery notification with respect to Sφ when every
+// observation unambiguously reveals which side of the Sφ boundary the system
+// is on: no observation o is generated with positive probability both from
+// some state inside Sφ and from some state outside it (under any action).
+// When that holds, seeing any observation tells the controller definitively
+// whether the system has recovered.
+func HasRecoveryNotification(p *POMDP, nullStates []int) (bool, error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	n := p.NumStates()
+	isNull, err := stateSet(n, nullStates)
+	if err != nil {
+		return false, err
+	}
+	no := p.NumObservations()
+	fromNull := make([]bool, no)
+	fromFault := make([]bool, no)
+	for a := 0; a < p.NumActions(); a++ {
+		for s := 0; s < n; s++ {
+			p.Obs[a].Row(s, func(o int, q float64) {
+				if q <= 0 {
+					return
+				}
+				if isNull[s] {
+					fromNull[o] = true
+				} else {
+					fromFault[o] = true
+				}
+			})
+		}
+	}
+	for o := 0; o < no; o++ {
+		if fromNull[o] && fromFault[o] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func stateSet(n int, states []int) ([]bool, error) {
+	set := make([]bool, n)
+	for _, s := range states {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("pomdp: state %d out of range [0,%d)", s, n)
+		}
+		set[s] = true
+	}
+	return set, nil
+}
+
+// SortedStates returns a sorted copy of states with duplicates removed,
+// used to canonicalize Sφ sets.
+func SortedStates(states []int) []int {
+	out := append([]int(nil), states...)
+	sort.Ints(out)
+	w := 0
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			out[w] = s
+			w++
+		}
+	}
+	return out[:w]
+}

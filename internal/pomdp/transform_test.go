@@ -1,0 +1,226 @@
+package pomdp
+
+import (
+	"testing"
+
+	"bpomdp/internal/linalg"
+)
+
+func TestAbsorbNullStates(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	mod, err := AbsorbNullStates(p, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < mod.NumActions(); a++ {
+		if got := mod.M.Trans[a].At(0, 0); got != 1 {
+			t.Errorf("action %d: null self-loop = %v, want 1", a, got)
+		}
+		if got := mod.M.Reward[a][0]; got != 0 {
+			t.Errorf("action %d: null reward = %v, want 0", a, got)
+		}
+	}
+	// Fault-state dynamics untouched.
+	if got := mod.M.Trans[0].At(1, 0); got != 1 {
+		t.Errorf("restart-a from fault-a = %v, want 1", got)
+	}
+	// Original unmodified (restart-a costs 0.5 in null).
+	if got := p.M.Reward[0][0]; got != -0.5 {
+		t.Errorf("original mutated: reward = %v", got)
+	}
+}
+
+func TestAbsorbNullStatesRejectsBadStates(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	if _, err := AbsorbNullStates(p, []int{99}); err == nil {
+		t.Error("out-of-range null state accepted")
+	}
+}
+
+func TestWithTermination(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	top := 10.0
+	rates := linalg.Vector{0, -0.5, -0.5} // cost rate while faulty
+	mod, idx, err := WithTermination(p, TerminationConfig{
+		NullStates:           []int{0},
+		OperatorResponseTime: top,
+		RateReward:           rates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mod.NumStates() != 4 || mod.NumActions() != 4 || mod.NumObservations() != 4 {
+		t.Fatalf("shape = %d/%d/%d", mod.NumStates(), mod.NumActions(), mod.NumObservations())
+	}
+	if idx.State != 3 || idx.Action != 3 || idx.Observation != 3 {
+		t.Fatalf("indices = %+v", idx)
+	}
+	if mod.M.StateName(idx.State) != TerminatedStateName ||
+		mod.M.ActionName(idx.Action) != TerminateActionName ||
+		mod.ObsName(idx.Observation) != TerminatedObsName {
+		t.Errorf("names: %q %q %q", mod.M.StateName(idx.State), mod.M.ActionName(idx.Action), mod.ObsName(idx.Observation))
+	}
+	// a_T from any state goes to s_T.
+	for s := 0; s < 4; s++ {
+		if got := mod.M.Trans[idx.Action].At(s, idx.State); got != 1 {
+			t.Errorf("p(sT|%d,aT) = %v, want 1", s, got)
+		}
+	}
+	// Termination rewards: 0 in Sφ, r̄·t_op elsewhere, 0 in s_T.
+	rT := mod.M.Reward[idx.Action]
+	if rT[0] != 0 || rT[3] != 0 {
+		t.Errorf("terminate reward in null/sT = %v/%v, want 0/0", rT[0], rT[3])
+	}
+	if !almostEqual(rT[1], -5, 1e-12) || !almostEqual(rT[2], -5, 1e-12) {
+		t.Errorf("terminate rewards = %v, want -5 in fault states", rT)
+	}
+	// s_T is absorbing with zero reward under every action.
+	for a := 0; a < 4; a++ {
+		if got := mod.M.Trans[a].At(idx.State, idx.State); got != 1 {
+			t.Errorf("action %d: sT self-loop = %v", a, got)
+		}
+		if got := mod.M.Reward[a][idx.State]; got != 0 {
+			t.Errorf("action %d: r(sT) = %v", a, got)
+		}
+	}
+	// Old dynamics preserved.
+	if got := mod.M.Trans[0].At(1, 0); got != 1 {
+		t.Errorf("restart-a from fault-a = %v", got)
+	}
+}
+
+func TestWithTerminationValidation(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	if _, _, err := WithTermination(p, TerminationConfig{
+		NullStates: []int{0}, OperatorResponseTime: -1, RateReward: linalg.Vector{0, -1, -1},
+	}); err == nil {
+		t.Error("negative t_op accepted")
+	}
+	if _, _, err := WithTermination(p, TerminationConfig{
+		NullStates: []int{0}, OperatorResponseTime: 1, RateReward: linalg.Vector{0, -1},
+	}); err == nil {
+		t.Error("short rate vector accepted")
+	}
+	if _, _, err := WithTermination(p, TerminationConfig{
+		NullStates: []int{0}, OperatorResponseTime: 1, RateReward: linalg.Vector{0, +1, -1},
+	}); err == nil {
+		t.Error("positive rate reward accepted (violates Condition 2)")
+	}
+	if _, _, err := WithTermination(p, TerminationConfig{
+		NullStates: []int{9}, OperatorResponseTime: 1, RateReward: linalg.Vector{0, -1, -1},
+	}); err == nil {
+		t.Error("out-of-range null state accepted")
+	}
+}
+
+func TestHasRecoveryNotification(t *testing.T) {
+	// Perfect monitor: observations never straddle the Sφ boundary.
+	perfect := twoServer(t, 1.0, 0)
+	got, err := HasRecoveryNotification(perfect, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("perfect monitor: want recovery notification")
+	}
+	// Imperfect coverage: obs-clear is emitted both from null and from fault
+	// states, so an all-clear does not certify recovery.
+	noisy := twoServer(t, 0.9, 0)
+	got, err = HasRecoveryNotification(noisy, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("noisy monitor: want no recovery notification")
+	}
+	// False positives alone also break notification.
+	fp := twoServer(t, 1.0, 0.05)
+	got, err = HasRecoveryNotification(fp, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("false-positive monitor: want no recovery notification")
+	}
+	if _, err := HasRecoveryNotification(perfect, []int{42}); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestSortedStates(t *testing.T) {
+	got := SortedStates([]int{3, 1, 3, 2, 1})
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("SortedStates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedStates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := twoServer(t, 0.9, 0.05)
+	data, err := MarshalModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumStates() != p.NumStates() || q.NumActions() != p.NumActions() || q.NumObservations() != p.NumObservations() {
+		t.Fatalf("round-trip shape mismatch")
+	}
+	for a := 0; a < p.NumActions(); a++ {
+		for s := 0; s < p.NumStates(); s++ {
+			for c := 0; c < p.NumStates(); c++ {
+				if !almostEqual(p.M.Trans[a].At(s, c), q.M.Trans[a].At(s, c), 1e-12) {
+					t.Fatalf("transition (%d,%d,%d) mismatch", a, s, c)
+				}
+			}
+			for o := 0; o < p.NumObservations(); o++ {
+				if !almostEqual(p.Obs[a].At(s, o), q.Obs[a].At(s, o), 1e-12) {
+					t.Fatalf("observation (%d,%d,%d) mismatch", a, s, o)
+				}
+			}
+			if !almostEqual(p.M.Reward[a][s], q.M.Reward[a][s], 1e-12) {
+				t.Fatalf("reward (%d,%d) mismatch", a, s)
+			}
+		}
+	}
+}
+
+func TestUnmarshalModelErrors(t *testing.T) {
+	if _, err := UnmarshalModel([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	bad := `{"states":["s"],"actions":["go"],"observations":["o"],
+		"transitions":[{"action":"zap","from":"s","to":"s","prob":1}],
+		"observationProbs":[{"action":"go","state":"s","obs":"o","prob":1}],
+		"rewards":[]}`
+	if _, err := UnmarshalModel([]byte(bad)); err == nil {
+		t.Error("unknown action name accepted")
+	}
+	badState := `{"states":["s"],"actions":["go"],"observations":["o"],
+		"transitions":[{"action":"go","from":"mystery","to":"s","prob":1}],
+		"observationProbs":[{"action":"go","state":"s","obs":"o","prob":1}],
+		"rewards":[]}`
+	if _, err := UnmarshalModel([]byte(badState)); err == nil {
+		t.Error("unknown state name accepted")
+	}
+	badObs := `{"states":["s"],"actions":["go"],"observations":["o"],
+		"transitions":[{"action":"go","from":"s","to":"s","prob":1}],
+		"observationProbs":[{"action":"go","state":"s","obs":"phantom","prob":1}],
+		"rewards":[]}`
+	if _, err := UnmarshalModel([]byte(badObs)); err == nil {
+		t.Error("unknown observation name accepted")
+	}
+}

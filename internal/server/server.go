@@ -1,0 +1,348 @@
+// Package server exposes recovery controllers over HTTP — the deployable
+// form of the framework. System monitors POST their outputs, the service
+// replies with the next recovery action, and the episode ends when the
+// controller decides to terminate.
+//
+// The API is JSON over HTTP:
+//
+//	GET    /healthz                        liveness
+//	GET    /metrics                        plain-text counters
+//	GET    /v1/model                       model summary (names, shapes)
+//	POST   /v1/episodes                    start an episode  -> {"episodeId": ...}
+//	GET    /v1/episodes/{id}/decision      next action       -> Decision
+//	POST   /v1/episodes/{id}/observations  report an observation
+//	GET    /v1/episodes/{id}/belief        current belief
+//	DELETE /v1/episodes/{id}               abandon an episode
+//
+// Controllers are stateful and single-threaded, so every episode gets its
+// own controller from the configured factory, and requests within an
+// episode are serialized.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/pomdp"
+)
+
+// Factory builds an independent controller and its initial belief for one
+// episode.
+type Factory func() (controller.Controller, pomdp.Belief, error)
+
+// Config configures a Server.
+type Config struct {
+	// Model is the POMDP the controllers run on; used to resolve names in
+	// the API. Required.
+	Model *pomdp.POMDP
+	// NewController builds one controller per episode. Required.
+	NewController Factory
+	// MaxEpisodes bounds concurrently open episodes (0 means 1024).
+	MaxEpisodes int
+}
+
+// Server is the HTTP recovery service. Create one with New and mount it as
+// an http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	episodes map[uint64]*episode
+	nextID   uint64
+
+	started    atomic.Uint64
+	terminated atomic.Uint64
+	decisions  atomic.Uint64
+	observed   atomic.Uint64
+}
+
+type episode struct {
+	mu   sync.Mutex
+	ctrl controller.Controller
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// New validates the configuration and returns a ready-to-mount Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("server: nil model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NewController == nil {
+		return nil, errors.New("server: nil controller factory")
+	}
+	if cfg.MaxEpisodes == 0 {
+		cfg.MaxEpisodes = 1024
+	}
+	if cfg.MaxEpisodes < 0 {
+		return nil, fmt.Errorf("server: negative episode cap %d", cfg.MaxEpisodes)
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		episodes: make(map[uint64]*episode),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	s.mux.HandleFunc("POST /v1/episodes", s.handleStart)
+	s.mux.HandleFunc("GET /v1/episodes/{id}/decision", s.handleDecision)
+	s.mux.HandleFunc("POST /v1/episodes/{id}/observations", s.handleObservation)
+	s.mux.HandleFunc("GET /v1/episodes/{id}/belief", s.handleBelief)
+	s.mux.HandleFunc("DELETE /v1/episodes/{id}", s.handleDelete)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// OpenEpisodes reports the number of live episodes (for tests and metrics).
+func (s *Server) OpenEpisodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.episodes)
+}
+
+// API payloads.
+type (
+	// StartResponse is returned by POST /v1/episodes.
+	StartResponse struct {
+		EpisodeID uint64 `json:"episodeId"`
+	}
+	// DecisionResponse is returned by GET .../decision.
+	DecisionResponse struct {
+		Action     int     `json:"action"`
+		ActionName string  `json:"actionName"`
+		Terminate  bool    `json:"terminate"`
+		Value      float64 `json:"value"`
+	}
+	// ObservationRequest is accepted by POST .../observations. Either the
+	// numeric indices or the names may be used; names win when both are set.
+	ObservationRequest struct {
+		Action          int    `json:"action"`
+		Observation     int    `json:"observation"`
+		ActionName      string `json:"actionName,omitempty"`
+		ObservationName string `json:"observationName,omitempty"`
+	}
+	// BeliefResponse is returned by GET .../belief.
+	BeliefResponse struct {
+		Belief []float64 `json:"belief"`
+	}
+	// ModelResponse is returned by GET /v1/model.
+	ModelResponse struct {
+		States       []string `json:"states"`
+		Actions      []string `json:"actions"`
+		Observations []string `json:"observations"`
+	}
+	// ErrorResponse is the uniform error body.
+	ErrorResponse struct {
+		Error string `json:"error"`
+	}
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "recoverd_episodes_started_total %d\n", s.started.Load())
+	fmt.Fprintf(w, "recoverd_episodes_terminated_total %d\n", s.terminated.Load())
+	fmt.Fprintf(w, "recoverd_decisions_total %d\n", s.decisions.Load())
+	fmt.Fprintf(w, "recoverd_observations_total %d\n", s.observed.Load())
+	fmt.Fprintf(w, "recoverd_episodes_open %d\n", s.OpenEpisodes())
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	m := s.cfg.Model
+	resp := ModelResponse{
+		States:       make([]string, m.NumStates()),
+		Actions:      make([]string, m.NumActions()),
+		Observations: make([]string, m.NumObservations()),
+	}
+	for i := range resp.States {
+		resp.States[i] = m.M.StateName(i)
+	}
+	for i := range resp.Actions {
+		resp.Actions[i] = m.M.ActionName(i)
+	}
+	for i := range resp.Observations {
+		resp.Observations[i] = m.ObsName(i)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	if len(s.episodes) >= s.cfg.MaxEpisodes {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("episode cap %d reached", s.cfg.MaxEpisodes))
+		return
+	}
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+
+	ctrl, initial, err := s.cfg.NewController()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("controller factory: %w", err))
+		return
+	}
+	if err := ctrl.Reset(initial); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("reset: %w", err))
+		return
+	}
+	s.mu.Lock()
+	s.episodes[id] = &episode{ctrl: ctrl}
+	s.mu.Unlock()
+	s.started.Add(1)
+	writeJSON(w, http.StatusCreated, StartResponse{EpisodeID: id})
+}
+
+func (s *Server) episode(w http.ResponseWriter, r *http.Request) (uint64, *episode, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad episode id: %w", err))
+		return 0, nil, false
+	}
+	s.mu.Lock()
+	ep := s.episodes[id]
+	s.mu.Unlock()
+	if ep == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("episode %d not found", id))
+		return 0, nil, false
+	}
+	return id, ep, true
+}
+
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	id, ep, ok := s.episode(w, r)
+	if !ok {
+		return
+	}
+	ep.mu.Lock()
+	d, err := ep.ctrl.Decide()
+	ep.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.decisions.Add(1)
+	resp := DecisionResponse{Action: d.Action, Terminate: d.Terminate, Value: d.Value}
+	if !d.Terminate || d.Action >= 0 {
+		resp.ActionName = s.cfg.Model.M.ActionName(d.Action)
+	}
+	if d.Terminate {
+		s.terminated.Add(1)
+		s.mu.Lock()
+		delete(s.episodes, id)
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
+	_, ep, ok := s.episode(w, r)
+	if !ok {
+		return
+	}
+	var req ObservationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode observation: %w", err))
+		return
+	}
+	action, obs := req.Action, req.Observation
+	if req.ActionName != "" {
+		a, err := s.lookupAction(req.ActionName)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		action = a
+	}
+	if req.ObservationName != "" {
+		o, err := s.lookupObservation(req.ObservationName)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		obs = o
+	}
+	ep.mu.Lock()
+	err := ep.ctrl.Observe(action, obs)
+	ep.mu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, pomdp.ErrImpossibleObservation) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.observed.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleBelief(w http.ResponseWriter, r *http.Request) {
+	_, ep, ok := s.episode(w, r)
+	if !ok {
+		return
+	}
+	ep.mu.Lock()
+	b := ep.ctrl.Belief()
+	ep.mu.Unlock()
+	writeJSON(w, http.StatusOK, BeliefResponse{Belief: b})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, _, ok := s.episode(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	delete(s.episodes, id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) lookupAction(name string) (int, error) {
+	for a := 0; a < s.cfg.Model.NumActions(); a++ {
+		if s.cfg.Model.M.ActionName(a) == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown action %q", name)
+}
+
+func (s *Server) lookupObservation(name string) (int, error) {
+	for o := 0; o < s.cfg.Model.NumObservations(); o++ {
+		if s.cfg.Model.ObsName(o) == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown observation %q", name)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+func TestRunCampaignParallelMatchesSequentialForStatelessController(t *testing.T) {
+	rm, ts := twoServerRecovery(t)
+	runner, err := NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (controller.Controller, pomdp.Belief, error) {
+		ctrl, err := controller.NewMostLikely(ts.Model, controller.MostLikelyConfig{
+			NullStates: ts.NullStates, TerminationProbability: 0.999,
+		})
+		return ctrl, pomdp.UniformBelief(3), err
+	}
+	const episodes = 60
+	// Sequential baseline via the same factory.
+	ctrl, initial, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := runner.RunCampaign(ctrl, initial, []int{1, 2}, episodes, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		par, err := runner.RunCampaignParallel(factory, []int{1, 2}, episodes, workers, rng.New(5))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Episodes != episodes || par.Recovered != seq.Recovered {
+			t.Errorf("workers=%d: episodes/recovered = %d/%d, want %d/%d",
+				workers, par.Episodes, par.Recovered, episodes, seq.Recovered)
+		}
+		// The most-likely controller carries no cross-episode state, so the
+		// merged statistics must match the sequential run exactly.
+		if math.Abs(par.Cost.Mean()-seq.Cost.Mean()) > 1e-9 {
+			t.Errorf("workers=%d: cost %v != sequential %v", workers, par.Cost.Mean(), seq.Cost.Mean())
+		}
+		if math.Abs(par.Cost.Variance()-seq.Cost.Variance()) > 1e-6 {
+			t.Errorf("workers=%d: variance %v != sequential %v", workers, par.Cost.Variance(), seq.Cost.Variance())
+		}
+		if math.Abs(par.MonitorCalls.Mean()-seq.MonitorCalls.Mean()) > 1e-9 {
+			t.Errorf("workers=%d: monitor calls differ", workers)
+		}
+	}
+}
+
+func TestRunCampaignParallelBoundedControllers(t *testing.T) {
+	rm, _ := twoServerRecovery(t)
+	runner, err := NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each worker gets its own Prepared (and thus its own mutable bound
+	// set); the bounded controller is not safe to share across goroutines.
+	factory := func() (controller.Controller, pomdp.Belief, error) {
+		prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Bootstrapping before control is part of the paper's protocol: the
+		// raw RA-Bound can be loose enough to make premature termination
+		// look attractive.
+		if _, err := prep.Bootstrap(10, controller.VariantAverage, 1, rng.New(77)); err != nil {
+			return nil, nil, err
+		}
+		ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1, ImproveOnline: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		initial, err := prep.InitialBelief()
+		return ctrl, initial, err
+	}
+	res, err := runner.RunCampaignParallel(factory, []int{1, 2}, 40, 4, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered != res.Episodes {
+		t.Errorf("recovered %d/%d", res.Recovered, res.Episodes)
+	}
+}
+
+func TestRunCampaignParallelValidation(t *testing.T) {
+	rm, ts := twoServerRecovery(t)
+	runner, err := NewRunner(rm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (controller.Controller, pomdp.Belief, error) {
+		ctrl, err := controller.NewMostLikely(ts.Model, controller.MostLikelyConfig{
+			NullStates: ts.NullStates, TerminationProbability: 0.999,
+		})
+		return ctrl, pomdp.UniformBelief(3), err
+	}
+	if _, err := runner.RunCampaignParallel(factory, nil, 5, 2, rng.New(1)); err == nil {
+		t.Error("empty faults accepted")
+	}
+	if _, err := runner.RunCampaignParallel(factory, []int{1}, 0, 2, rng.New(1)); err == nil {
+		t.Error("zero episodes accepted")
+	}
+	if _, err := runner.RunCampaignParallel(nil, []int{1}, 5, 2, rng.New(1)); err == nil {
+		t.Error("nil factory accepted")
+	}
+	bad := func() (controller.Controller, pomdp.Belief, error) {
+		return nil, nil, errors.New("boom")
+	}
+	if _, err := runner.RunCampaignParallel(bad, []int{1}, 5, 2, rng.New(1)); err == nil {
+		t.Error("factory error swallowed")
+	}
+}

@@ -1,0 +1,260 @@
+// Package sim is the fault-injection simulator used for the paper's
+// Section 5 evaluation: it injects faults into a simulated system governed
+// by a recovery model, drives a controller through the
+// detect–decide–act–observe loop, and collects the per-fault metrics of
+// Table 1 (cost, recovery time, residual time, algorithm time, recovery
+// actions, monitor calls).
+//
+// The simulator stands in for the authors' EMN testbed; like theirs, it is
+// a model-driven simulation — the true system state evolves by the recovery
+// model's transition function, monitor outputs are sampled from the
+// observation function, and costs accrue via the reward structure (rate ×
+// duration), while the controller's decision time is measured in real wall
+// time.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/stats"
+)
+
+// ErrTimedOut is wrapped into episode errors when a controller fails to
+// terminate within the step budget.
+var ErrTimedOut = errors.New("sim: controller did not terminate within step budget")
+
+// EpisodeResult holds the per-fault metrics of one recovery episode; the
+// fields mirror Table 1's columns.
+type EpisodeResult struct {
+	// Injected is the injected fault state.
+	Injected int
+	// Recovered reports whether the system was actually fault-free when the
+	// controller terminated.
+	Recovered bool
+	// Steps is the number of decision steps (including pure observations).
+	Steps int
+	// Cost is the accumulated cost (dropped requests: drop rate × time),
+	// i.e. the negated reward accrued on the true trajectory.
+	Cost float64
+	// RecoveryTime is the simulated time from fault injection to controller
+	// termination, in seconds.
+	RecoveryTime float64
+	// ResidualTime is the simulated time the fault was actually present, in
+	// seconds.
+	ResidualTime float64
+	// AlgoTime is the real wall-clock time the controller spent deciding.
+	AlgoTime time.Duration
+	// Actions is the number of recovery actions executed (restarts and
+	// reboots; observations excluded).
+	Actions int
+	// MonitorCalls is the number of monitor sweeps performed (one follows
+	// every step, including the initial detection sweep).
+	MonitorCalls int
+}
+
+// Runner executes recovery episodes against a recovery model's simulated
+// true system.
+type Runner struct {
+	rm      *core.RecoveryModel
+	isNull  []bool
+	maxStep int
+}
+
+// NewRunner builds a Runner for the recovery model. maxSteps caps each
+// episode (0 means 1000).
+func NewRunner(rm *core.RecoveryModel, maxSteps int) (*Runner, error) {
+	if err := rm.Validate(); err != nil {
+		return nil, err
+	}
+	if maxSteps == 0 {
+		maxSteps = 1000
+	}
+	if maxSteps < 1 {
+		return nil, fmt.Errorf("sim: non-positive step budget %d", maxSteps)
+	}
+	isNull := make([]bool, rm.POMDP.NumStates())
+	for _, s := range rm.NullStates {
+		isNull[s] = true
+	}
+	return &Runner{rm: rm, isNull: isNull, maxStep: maxSteps}, nil
+}
+
+// RunEpisode injects faultState, performs the initial detection sweep, and
+// drives ctrl until it terminates. initial is the controller's prior belief
+// before the first monitor output (it may be sized for a transformed model
+// with extra states appended after the base states; base action and
+// observation indices must coincide, which the Section 3.1 transforms
+// guarantee).
+func (r *Runner) RunEpisode(ctrl controller.Controller, initial pomdp.Belief, faultState int, stream *rng.Stream) (EpisodeResult, error) {
+	p := r.rm.POMDP
+	if faultState < 0 || faultState >= p.NumStates() {
+		return EpisodeResult{}, fmt.Errorf("sim: fault state %d out of range [0,%d)", faultState, p.NumStates())
+	}
+	res := EpisodeResult{Injected: faultState}
+	if err := ctrl.Reset(initial); err != nil {
+		return res, fmt.Errorf("sim: reset %s: %w", ctrl.Name(), err)
+	}
+
+	state := faultState
+	obsAction := r.rm.MonitorAction
+
+	// Initial detection sweep: the monitors fire once so the controller can
+	// condition its uniform prior on real outputs (Section 4).
+	state, err := r.step(ctrl, &res, state, obsAction, stream)
+	if err != nil {
+		return res, err
+	}
+
+	for res.Steps = 1; res.Steps <= r.maxStep; res.Steps++ {
+		if sa, ok := ctrl.(controller.StateAware); ok {
+			sa.ObserveTrueState(state)
+		}
+		t0 := time.Now()
+		d, err := ctrl.Decide()
+		res.AlgoTime += time.Since(t0)
+		if err != nil {
+			return res, fmt.Errorf("sim: %s decide: %w", ctrl.Name(), err)
+		}
+		if d.Terminate {
+			res.Recovered = r.isNull[state]
+			return res, nil
+		}
+		if d.Action < 0 || d.Action >= p.NumActions() {
+			return res, fmt.Errorf("sim: %s chose invalid action %d", ctrl.Name(), d.Action)
+		}
+		if d.Action != obsAction {
+			res.Actions++
+		}
+		state, err = r.step(ctrl, &res, state, d.Action, stream)
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, fmt.Errorf("sim: %s after %d steps: %w", ctrl.Name(), r.maxStep, ErrTimedOut)
+}
+
+// step executes one action on the true system (transition + monitor sweep +
+// accounting) and feeds the sampled observation to the controller.
+func (r *Runner) step(ctrl controller.Controller, res *EpisodeResult, state, action int, stream *rng.Stream) (int, error) {
+	p := r.rm.POMDP
+	dur := r.rm.Durations[action]
+	tMon := r.rm.MonitorDuration
+
+	// Cost is the negated model reward on the true trajectory; the model's
+	// r(s,a) already folds in the action duration and the trailing sweep.
+	res.Cost += -p.M.Reward[action][state]
+	res.RecoveryTime += dur + tMon
+	if !r.isNull[state] {
+		res.ResidualTime += dur
+	}
+
+	next, err := r.sampleTransition(stream, state, action)
+	if err != nil {
+		return 0, err
+	}
+	if !r.isNull[next] {
+		res.ResidualTime += tMon
+	}
+	obs, err := r.sampleObservation(stream, next, action)
+	if err != nil {
+		return 0, err
+	}
+	res.MonitorCalls++
+	if err := ctrl.Observe(action, obs); err != nil {
+		return 0, fmt.Errorf("sim: %s observe: %w", ctrl.Name(), err)
+	}
+	return next, nil
+}
+
+func (r *Runner) sampleTransition(stream *rng.Stream, s, a int) (int, error) {
+	weights := make([]float64, r.rm.POMDP.NumStates())
+	r.rm.POMDP.M.Trans[a].Row(s, func(c int, v float64) { weights[c] = v })
+	next, err := stream.Categorical(weights)
+	if err != nil {
+		return 0, fmt.Errorf("sim: transition from %s under %s: %w",
+			r.rm.POMDP.M.StateName(s), r.rm.POMDP.M.ActionName(a), err)
+	}
+	return next, nil
+}
+
+func (r *Runner) sampleObservation(stream *rng.Stream, s, a int) (int, error) {
+	weights := make([]float64, r.rm.POMDP.NumObservations())
+	r.rm.POMDP.Obs[a].Row(s, func(o int, v float64) { weights[o] = v })
+	obs, err := stream.Categorical(weights)
+	if err != nil {
+		return 0, fmt.Errorf("sim: observation in %s under %s: %w",
+			r.rm.POMDP.M.StateName(s), r.rm.POMDP.M.ActionName(a), err)
+	}
+	return obs, nil
+}
+
+// CampaignResult aggregates the per-fault averages of a fault-injection
+// campaign — one Table 1 row.
+type CampaignResult struct {
+	// Name labels the controller.
+	Name string
+	// Episodes and Recovered count injections and successful recoveries.
+	Episodes, Recovered int
+	// Per-fault metric accumulators.
+	Cost, RecoveryTime, ResidualTime, AlgoTimeMs, Actions, MonitorCalls stats.Accumulator
+}
+
+// RunCampaign injects episodes faults (uniformly over faultStates) and
+// aggregates per-fault metrics. Episode RNG streams are derived from the
+// given stream per episode index, so campaigns are reproducible and
+// insensitive to controller internals.
+func (r *Runner) RunCampaign(ctrl controller.Controller, initial pomdp.Belief, faultStates []int, episodes int, stream *rng.Stream) (CampaignResult, error) {
+	out := CampaignResult{Name: ctrl.Name()}
+	if len(faultStates) == 0 {
+		return out, fmt.Errorf("sim: no fault states to inject")
+	}
+	if episodes < 1 {
+		return out, fmt.Errorf("sim: non-positive episode count %d", episodes)
+	}
+	for i := 0; i < episodes; i++ {
+		ep := stream.SplitN("episode", i)
+		fault := faultStates[ep.IntN(len(faultStates))]
+		res, err := r.RunEpisode(ctrl, initial, fault, ep)
+		if err != nil {
+			return out, fmt.Errorf("sim: episode %d (fault %s): %w",
+				i, r.rm.POMDP.M.StateName(fault), err)
+		}
+		out.Episodes++
+		if res.Recovered {
+			out.Recovered++
+		}
+		out.Cost.Add(res.Cost)
+		out.RecoveryTime.Add(res.RecoveryTime)
+		out.ResidualTime.Add(res.ResidualTime)
+		out.AlgoTimeMs.Add(float64(res.AlgoTime) / float64(time.Millisecond))
+		out.Actions.Add(float64(res.Actions))
+		out.MonitorCalls.Add(float64(res.MonitorCalls))
+	}
+	return out, nil
+}
+
+// Row renders the campaign as a Table 1 row: cost, recovery time, residual
+// time, algorithm time, actions, monitor calls (per-fault averages).
+func (c *CampaignResult) Row() []string {
+	return []string{
+		c.Name,
+		fmt.Sprintf("%.2f", c.Cost.Mean()),
+		fmt.Sprintf("%.2f", c.RecoveryTime.Mean()),
+		fmt.Sprintf("%.2f", c.ResidualTime.Mean()),
+		fmt.Sprintf("%.3f", c.AlgoTimeMs.Mean()),
+		fmt.Sprintf("%.3f", c.Actions.Mean()),
+		fmt.Sprintf("%.2f", c.MonitorCalls.Mean()),
+		fmt.Sprintf("%d/%d", c.Recovered, c.Episodes),
+	}
+}
+
+// TableHeaders are the column headers matching Row.
+func TableHeaders() []string {
+	return []string{"Algorithm", "Cost", "RecoveryTime(s)", "ResidualTime(s)", "AlgoTime(ms)", "Actions", "MonitorCalls", "Recovered"}
+}

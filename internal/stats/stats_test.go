@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if a.CI95() <= 0 {
+		t.Errorf("CI95 = %v", a.CI95())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Variance() != 0 || a.Min() != 3 || a.Max() != 3 {
+		t.Errorf("single-sample stats wrong: %+v", a)
+	}
+}
+
+func TestAccumulatorMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		var sum float64
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				return true
+			}
+		}
+		for _, x := range xs {
+			a.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		mean := sum / float64(len(xs))
+		scale := 1.0
+		if m := math.Abs(mean); m > 1 {
+			scale = m
+		}
+		if math.Abs(a.Mean()-mean) > 1e-9*scale {
+			ok = false
+		}
+		if len(xs) >= 2 {
+			var ss float64
+			for _, x := range xs {
+				ss += (x - mean) * (x - mean)
+			}
+			v := ss / float64(len(xs)-1)
+			vscale := 1.0
+			if v > 1 {
+				vscale = v
+			}
+			if math.Abs(a.Variance()-v) > 1e-6*vscale {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "12345")
+	tb.AddRow("padded") // short row
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	// All lines align: the "Value" column starts at the same offset.
+	off := strings.Index(lines[0], "Value")
+	if !strings.HasPrefix(lines[3][off:], "12345") {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+}

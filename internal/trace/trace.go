@@ -1,0 +1,112 @@
+// Package trace provides structured, human-readable episode tracing: it
+// wraps any recovery controller and logs every reset, decision, and
+// observation — with state/action/observation names resolved against the
+// model — to an io.Writer. Used by the examples and handy when debugging a
+// recovery model.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/pomdp"
+)
+
+// Tracer renders controller activity.
+type Tracer struct {
+	// W receives the trace lines.
+	W io.Writer
+	// Model resolves names; it must be the model the controller runs on.
+	Model *pomdp.POMDP
+	// ShowBelief includes the belief vector in decision lines.
+	ShowBelief bool
+}
+
+// Wrap returns a Controller that forwards to ctrl while logging through t.
+// The wrapper preserves StateAware: if ctrl reads the true state, so does
+// the wrapper.
+func Wrap(ctrl controller.Controller, t *Tracer) controller.Controller {
+	return &traced{inner: ctrl, t: t}
+}
+
+type traced struct {
+	inner controller.Controller
+	t     *Tracer
+	step  int
+}
+
+var (
+	_ controller.Controller = (*traced)(nil)
+	_ controller.StateAware = (*traced)(nil)
+)
+
+func (c *traced) Name() string { return c.inner.Name() }
+
+func (c *traced) Reset(initial pomdp.Belief) error {
+	c.step = 0
+	err := c.inner.Reset(initial)
+	if err != nil {
+		fmt.Fprintf(c.t.W, "[%s] reset failed: %v\n", c.inner.Name(), err)
+		return err
+	}
+	fmt.Fprintf(c.t.W, "[%s] reset%s\n", c.inner.Name(), c.beliefSuffix(initial))
+	return nil
+}
+
+func (c *traced) Decide() (controller.Decision, error) {
+	d, err := c.inner.Decide()
+	if err != nil {
+		fmt.Fprintf(c.t.W, "[%s] step %d: decide failed: %v\n", c.inner.Name(), c.step, err)
+		return d, err
+	}
+	if d.Terminate {
+		fmt.Fprintf(c.t.W, "[%s] step %d: TERMINATE (value %.3f)\n", c.inner.Name(), c.step, d.Value)
+		return d, nil
+	}
+	fmt.Fprintf(c.t.W, "[%s] step %d: choose %s (value %.3f)%s\n",
+		c.inner.Name(), c.step, c.t.Model.M.ActionName(d.Action), d.Value, c.beliefSuffix(c.inner.Belief()))
+	return d, nil
+}
+
+func (c *traced) Observe(action, obs int) error {
+	c.step++
+	err := c.inner.Observe(action, obs)
+	if err != nil {
+		fmt.Fprintf(c.t.W, "[%s] step %d: observe %s after %s failed: %v\n",
+			c.inner.Name(), c.step, c.t.Model.ObsName(obs), c.t.Model.M.ActionName(action), err)
+		return err
+	}
+	fmt.Fprintf(c.t.W, "[%s] step %d: observed %s\n", c.inner.Name(), c.step, c.t.Model.ObsName(obs))
+	return nil
+}
+
+func (c *traced) Belief() pomdp.Belief { return c.inner.Belief() }
+
+// ObserveTrueState forwards the true state to state-aware controllers and
+// logs it either way.
+func (c *traced) ObserveTrueState(s int) {
+	fmt.Fprintf(c.t.W, "[%s] step %d: true state is %s\n", c.inner.Name(), c.step, c.t.Model.M.StateName(s))
+	if sa, ok := c.inner.(controller.StateAware); ok {
+		sa.ObserveTrueState(s)
+	}
+}
+
+func (c *traced) beliefSuffix(b pomdp.Belief) string {
+	if !c.t.ShowBelief || b == nil {
+		return ""
+	}
+	out := " belief={"
+	first := true
+	for s, p := range b {
+		if p < 1e-4 {
+			continue
+		}
+		if !first {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s:%.3f", c.t.Model.M.StateName(s), p)
+		first = false
+	}
+	return out + "}"
+}

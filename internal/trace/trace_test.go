@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/models"
+	"bpomdp/internal/pomdp"
+)
+
+func fixture(t *testing.T) (*pomdp.POMDP, controller.Controller) {
+	t.Helper()
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.NewMostLikely(ts.Model, controller.MostLikelyConfig{
+		NullStates:             ts.NullStates,
+		TerminationProbability: 0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.Model, ctrl
+}
+
+func TestWrapLogsLifecycle(t *testing.T) {
+	model, ctrl := fixture(t)
+	var buf strings.Builder
+	traced := Wrap(ctrl, &Tracer{W: &buf, Model: model, ShowBelief: true})
+
+	if err := traced.Reset(pomdp.UniformBelief(3)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := traced.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Terminate {
+		t.Fatal("unexpected terminate")
+	}
+	if err := traced.Observe(d.Action, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reset", "choose", "observed", "belief={", "most-likely"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if traced.Name() != ctrl.Name() {
+		t.Errorf("Name = %q", traced.Name())
+	}
+	if b := traced.Belief(); !b.IsDistribution() {
+		t.Errorf("Belief passthrough broken: %v", b)
+	}
+}
+
+func TestWrapLogsTerminate(t *testing.T) {
+	model, ctrl := fixture(t)
+	var buf strings.Builder
+	traced := Wrap(ctrl, &Tracer{W: &buf, Model: model})
+	if err := traced.Reset(pomdp.PointBelief(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := traced.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Terminate {
+		t.Fatal("expected terminate from certain-null belief")
+	}
+	if !strings.Contains(buf.String(), "TERMINATE") {
+		t.Errorf("terminate not logged:\n%s", buf.String())
+	}
+}
+
+func TestWrapPropagatesErrors(t *testing.T) {
+	model, ctrl := fixture(t)
+	var buf strings.Builder
+	traced := Wrap(ctrl, &Tracer{W: &buf, Model: model})
+	// Decide before Reset must fail and be logged.
+	if _, err := traced.Decide(); err == nil {
+		t.Error("Decide before Reset accepted")
+	}
+	if err := traced.Reset(pomdp.Belief{9}); err == nil {
+		t.Error("bad belief accepted")
+	}
+	if !strings.Contains(buf.String(), "failed") {
+		t.Errorf("errors not logged:\n%s", buf.String())
+	}
+}
+
+func TestWrapForwardsTrueState(t *testing.T) {
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := controller.NewOracle(ts.Model, ts.NullStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	traced := Wrap(oracle, &Tracer{W: &buf, Model: ts.Model})
+	if err := traced.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	sa, ok := traced.(controller.StateAware)
+	if !ok {
+		t.Fatal("wrapper lost StateAware")
+	}
+	sa.ObserveTrueState(ts.StateFaultA)
+	d, err := traced.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Terminate || d.Action != ts.ActionRestartA {
+		t.Errorf("oracle through wrapper chose %+v", d)
+	}
+	if !strings.Contains(buf.String(), "true state is fault-a") {
+		t.Errorf("true state not logged:\n%s", buf.String())
+	}
+}
