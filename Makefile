@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test test-short check vet fmt table1 fig5bounds
+
+build:
+	$(GO) build ./...
+
+# Fast inner loop: skips the chaos campaign and other -short-gated tests.
+test-short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmtout=$$(gofmt -l .); if [ -n "$$gofmtout" ]; then echo "gofmt needed:"; echo "$$gofmtout"; exit 1; fi
+
+# The full gate: vet plus the complete test suite (chaos campaign included)
+# under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+table1:
+	$(GO) run ./cmd/emn-faultinject -n 10000
+
+fig5bounds:
+	$(GO) run ./cmd/emn-bounds -iters 20

@@ -59,6 +59,15 @@ func run(ctx context.Context, args []string) error {
 		seed        = fs.Uint64("seed", 1, "bootstrap RNG seed")
 		boundsPath  = fs.String("bounds", "", "load the bound set from this JSON file if it exists, and save it back after bootstrap")
 		maxEpisodes = fs.Int("max-episodes", 0, "cap on concurrently open episodes (0 = default)")
+
+		checkpointDir = fs.String("checkpoint-dir", "", "persist per-episode checkpoints here; a restarted daemon resumes all open episodes")
+		episodeTTL    = fs.Duration("episode-ttl", 30*time.Minute, "evict episodes idle longer than this (0 disables abandoned-monitor GC)")
+		maxBodyBytes  = fs.Int64("max-body-bytes", 1<<20, "cap on request body size")
+
+		readHeaderTimeout = fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+		readTimeout       = fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (bounds slow-loris request bodies)")
+		writeTimeout      = fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,9 +121,21 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	var checkpointer server.Checkpointer
+	if *checkpointDir != "" {
+		cp, err := server.NewDirCheckpointer(*checkpointDir)
+		if err != nil {
+			return err
+		}
+		checkpointer = cp
+	}
+
 	srv, err := server.New(server.Config{
-		Model:       prep.Model,
-		MaxEpisodes: *maxEpisodes,
+		Model:        prep.Model,
+		MaxEpisodes:  *maxEpisodes,
+		Checkpointer: checkpointer,
+		EpisodeTTL:   *episodeTTL,
+		MaxBodyBytes: *maxBodyBytes,
 		NewController: func() (controller.Controller, pomdp.Belief, error) {
 			ctrl, err := prep.NewController(core.ControllerConfig{Depth: *depth, ImproveOnline: *improve})
 			if err != nil {
@@ -127,11 +148,26 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if checkpointer != nil {
+		rep := srv.Restored()
+		if rep.LoadErr != nil {
+			log.Printf("checkpoint load: %v", rep.LoadErr)
+		}
+		if rep.Resumed > 0 || len(rep.Failed) > 0 {
+			log.Printf("resumed %d checkpointed episode(s), %d failed", rep.Resumed, len(rep.Failed))
+			for _, f := range rep.Failed {
+				log.Printf("episode %d not resumed: %v", f.EpisodeID, f.Err)
+			}
+		}
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
-		ReadHeaderTimeout: 5 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -142,11 +178,18 @@ func run(ctx context.Context, args []string) error {
 	}()
 	select {
 	case err := <-errCh:
+		srv.Close()
 		return err
 	case <-ctx.Done():
 		log.Printf("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return hs.Shutdown(shutdownCtx)
+		// Drain in-flight requests first, then checkpoint every still-open
+		// episode so a restart resumes them.
+		shutdownErr := hs.Shutdown(shutdownCtx)
+		if err := srv.Close(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		return shutdownErr
 	}
 }

@@ -78,3 +78,44 @@ func TestRunRejectsMismatchedBounds(t *testing.T) {
 		t.Error("mismatched bound dimensions accepted")
 	}
 }
+
+func TestRunWithCheckpointDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-model", "twoserver",
+		"-top", "10",
+		"-bootstrap", "3",
+		"-bootstrap-depth", "1",
+		"-checkpoint-dir", dir,
+		"-episode-ttl", "1m",
+		"-read-header-timeout", "1s",
+		"-read-timeout", "2s",
+		"-write-timeout", "2s",
+		"-idle-timeout", "5s",
+		"-max-body-bytes", "4096",
+	}
+	if err := run(cancelledCtx(), args); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpointer creates the directory eagerly so a bad path fails at
+	// startup, not at the first snapshot.
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Errorf("checkpoint dir not created: %v", err)
+	}
+	// A second run over the same (empty) directory restores cleanly.
+	if err := run(cancelledCtx(), args); err != nil {
+		t.Fatal(err)
+	}
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "3", "-bootstrap-depth", "1",
+		"-checkpoint-dir", filepath.Join(blocker, "not-a-dir"),
+	}); err == nil {
+		t.Error("unusable checkpoint dir accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package chaos injects transport faults for resilience testing: a
+// http.RoundTripper wrapper that drops, delays, duplicates, and corrupts
+// client requests, and a handler middleware that injects server-side 5xx
+// and latency. All randomness comes from internal/rng streams, so a chaos
+// run is exactly reproducible from its seed.
+//
+// Fault semantics follow what a real network can do:
+//
+//   - Drop: the request never reaches the server; the caller sees a
+//     dial-class error (safe to retry for any request).
+//   - Error: a synthetic 503 is returned without reaching the server, as an
+//     overloaded proxy would.
+//   - Reset: the request is delivered and processed, but the response is
+//     discarded and the caller sees a reset-class error — the dangerous
+//     case that only idempotent requests survive.
+//   - Duplicate: the request is delivered twice (retransmit); the first
+//     response is discarded. Exercises server-side dedupe.
+//   - Delay: a uniform random latency in [0, MaxDelay) before delivery.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpomdp/internal/rng"
+)
+
+// Config sets independent per-request fault probabilities. Probabilities
+// are evaluated in order drop, error, reset, duplicate; at most one fires
+// per request. Delay is sampled independently of the rest.
+type Config struct {
+	// DropProb loses the request before it reaches the server.
+	DropProb float64
+	// ErrorProb returns a synthetic 503 without reaching the server.
+	ErrorProb float64
+	// ResetProb delivers the request but loses the response.
+	ResetProb float64
+	// DupProb delivers the request twice, returning the second response.
+	DupProb float64
+	// MaxDelay adds a uniform random latency in [0, MaxDelay) to every
+	// delivered request (0 disables delays).
+	MaxDelay time.Duration
+}
+
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"DropProb", c.DropProb}, {"ErrorProb", c.ErrorProb}, {"ResetProb", c.ResetProb}, {"DupProb", c.DupProb}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("chaos: negative MaxDelay %v", c.MaxDelay)
+	}
+	return nil
+}
+
+// Counters tallies injected faults, for test assertions.
+type Counters struct {
+	Requests  atomic.Uint64
+	Dropped   atomic.Uint64
+	Errors    atomic.Uint64
+	Resets    atomic.Uint64
+	Duplicate atomic.Uint64
+	Delayed   atomic.Uint64
+}
+
+// ErrInjectedReset is the cause of reset-class transport errors.
+var ErrInjectedReset = errors.New("chaos: injected connection reset (response lost)")
+
+// errInjectedDrop is the cause of drop-class transport errors.
+var errInjectedDrop = errors.New("chaos: injected drop (request lost)")
+
+// Transport is a fault-injecting http.RoundTripper. It wraps a real
+// transport and randomly drops, delays, duplicates, or fails requests per
+// its Config. Safe for concurrent use.
+type Transport struct {
+	next http.RoundTripper
+	cfg  Config
+
+	mu     sync.Mutex
+	stream *rng.Stream
+
+	// Counters reports what was injected.
+	Counters Counters
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
+
+// NewTransport wraps next (nil means http.DefaultTransport) with fault
+// injection driven by stream.
+func NewTransport(next http.RoundTripper, cfg Config, stream *rng.Stream) (*Transport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("chaos: nil rng stream")
+	}
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{next: next, cfg: cfg, stream: stream}, nil
+}
+
+// roll draws the per-request fault decisions under the stream lock.
+type roll struct {
+	drop, errInject, reset, dup bool
+	delay                       time.Duration
+}
+
+func (t *Transport) roll() roll {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var r roll
+	switch {
+	case t.stream.Bernoulli(t.cfg.DropProb):
+		r.drop = true
+	case t.stream.Bernoulli(t.cfg.ErrorProb):
+		r.errInject = true
+	case t.stream.Bernoulli(t.cfg.ResetProb):
+		r.reset = true
+	case t.stream.Bernoulli(t.cfg.DupProb):
+		r.dup = true
+	}
+	if t.cfg.MaxDelay > 0 {
+		r.delay = time.Duration(t.stream.Float64() * float64(t.cfg.MaxDelay))
+	}
+	return r
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.Counters.Requests.Add(1)
+	r := t.roll()
+	if r.delay > 0 {
+		t.Counters.Delayed.Add(1)
+		select {
+		case <-time.After(r.delay):
+		case <-req.Context().Done():
+			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: req.Context().Err()}
+		}
+	}
+	switch {
+	case r.drop:
+		t.Counters.Dropped.Add(1)
+		// The request never left the client: a dial-class error, safe to
+		// retry even for non-idempotent requests.
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: errInjectedDrop}
+	case r.errInject:
+		t.Counters.Errors.Add(1)
+		return synthetic503(req), nil
+	case r.reset:
+		t.Counters.Resets.Add(1)
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server did the work; the client never sees the answer.
+		discard(resp)
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: ErrInjectedReset}
+	case r.dup:
+		t.Counters.Duplicate.Add(1)
+		first, err := t.retransmit(req)
+		if err != nil {
+			return nil, err
+		}
+		if first != nil {
+			discard(first)
+		}
+		return t.next.RoundTrip(req)
+	default:
+		return t.next.RoundTrip(req)
+	}
+}
+
+// retransmit sends a clone of req (re-materializing the body via GetBody)
+// and returns its response; a clone that cannot be built degrades to no
+// duplicate rather than an error.
+func (t *Transport) retransmit(req *http.Request) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	if req.Body != nil {
+		if req.GetBody == nil {
+			return nil, nil
+		}
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, nil
+		}
+		clone.Body = body
+	}
+	resp, err := t.next.RoundTrip(clone)
+	if err != nil {
+		// The duplicate got lost; the original still goes out.
+		return nil, nil
+	}
+	return resp, nil
+}
+
+func discard(resp *http.Response) {
+	if resp.Body != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+}
+
+func synthetic503(req *http.Request) *http.Response {
+	return &http.Response{
+		Status:     "503 Service Unavailable",
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{"Content-Type": []string{"text/plain"}},
+		Body:       io.NopCloser(bytes.NewReader([]byte("chaos: injected 503\n"))),
+		Request:    req,
+	}
+}
+
+// Middleware wraps an http.Handler with server-side fault injection:
+// synthetic 500s (before the real handler runs, so no state changes) and
+// random latency. The returned counters tally injections.
+func Middleware(next http.Handler, cfg Config, stream *rng.Stream) (http.Handler, *Counters, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if stream == nil {
+		return nil, nil, fmt.Errorf("chaos: nil rng stream")
+	}
+	var (
+		mu       sync.Mutex
+		counters Counters
+	)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		counters.Requests.Add(1)
+		mu.Lock()
+		fail := stream.Bernoulli(cfg.ErrorProb)
+		var delay time.Duration
+		if cfg.MaxDelay > 0 {
+			delay = time.Duration(stream.Float64() * float64(cfg.MaxDelay))
+		}
+		mu.Unlock()
+		if delay > 0 {
+			counters.Delayed.Add(1)
+			time.Sleep(delay)
+		}
+		if fail {
+			counters.Errors.Add(1)
+			http.Error(w, "chaos: injected 500", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+	return h, &counters, nil
+}

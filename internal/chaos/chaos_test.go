@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpomdp/internal/rng"
+)
+
+func countingServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Body != nil {
+			_, _ = io.Copy(io.Discard, r.Body)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &hits
+}
+
+func clientWith(t *testing.T, hs *httptest.Server, cfg Config) (*http.Client, *Transport) {
+	t.Helper()
+	tr, err := NewTransport(hs.Client().Transport, cfg, rng.New(11).Split("chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &http.Client{Transport: tr}, tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	stream := rng.New(1)
+	if _, err := NewTransport(nil, Config{DropProb: 1.5}, stream); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewTransport(nil, Config{MaxDelay: -time.Second}, stream); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := NewTransport(nil, Config{}, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, _, err := Middleware(nil, Config{ErrorProb: -1}, stream); err == nil {
+		t.Error("middleware negative probability accepted")
+	}
+}
+
+func TestTransportDrop(t *testing.T) {
+	hs, hits := countingServer(t)
+	hc, tr := clientWith(t, hs, Config{DropProb: 1})
+	_, err := hc.Get(hs.URL)
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if !strings.Contains(err.Error(), "injected drop") {
+		t.Errorf("drop error %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("dropped request reached the server %d times", hits.Load())
+	}
+	if tr.Counters.Dropped.Load() != 1 {
+		t.Errorf("drop counter %d", tr.Counters.Dropped.Load())
+	}
+}
+
+func TestTransportInjects503(t *testing.T) {
+	hs, hits := countingServer(t)
+	hc, tr := clientWith(t, hs, Config{ErrorProb: 1})
+	resp, err := hc.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "injected 503") {
+		t.Errorf("body %q", body)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("injected 503 still reached the server %d times", hits.Load())
+	}
+	if tr.Counters.Errors.Load() != 1 {
+		t.Errorf("error counter %d", tr.Counters.Errors.Load())
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	hs, hits := countingServer(t)
+	hc, tr := clientWith(t, hs, Config{ResetProb: 1})
+	_, err := hc.Get(hs.URL)
+	if err == nil {
+		t.Fatal("reset request succeeded")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("reset request reached the server %d times, want 1 (processed, response lost)", hits.Load())
+	}
+	if tr.Counters.Resets.Load() != 1 {
+		t.Errorf("reset counter %d", tr.Counters.Resets.Load())
+	}
+}
+
+func TestTransportDuplicate(t *testing.T) {
+	hs, hits := countingServer(t)
+	hc, tr := clientWith(t, hs, Config{DupProb: 1})
+	resp, err := hc.Post(hs.URL, "application/json", strings.NewReader(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("duplicated request reached the server %d times, want 2", hits.Load())
+	}
+	if tr.Counters.Duplicate.Load() != 1 {
+		t.Errorf("dup counter %d", tr.Counters.Duplicate.Load())
+	}
+}
+
+func TestTransportDelayCounted(t *testing.T) {
+	hs, _ := countingServer(t)
+	hc, tr := clientWith(t, hs, Config{MaxDelay: time.Millisecond})
+	for i := 0; i < 5; i++ {
+		resp, err := hc.Get(hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if tr.Counters.Requests.Load() != 5 {
+		t.Errorf("request counter %d", tr.Counters.Requests.Load())
+	}
+	if tr.Counters.Delayed.Load() == 0 {
+		t.Error("no delays recorded with MaxDelay set")
+	}
+}
+
+func TestMiddlewareInjects500(t *testing.T) {
+	var hits atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+	h, counters, err := Middleware(inner, Config{ErrorProb: 1}, rng.New(5).Split("mw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	resp, err := http.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("failed request reached the handler %d times", hits.Load())
+	}
+	if counters.Errors.Load() != 1 {
+		t.Errorf("error counter %d", counters.Errors.Load())
+	}
+}
+
+func TestTransportDeterministicPerSeed(t *testing.T) {
+	hs, _ := countingServer(t)
+	outcomes := func() []bool {
+		hc, _ := clientWith(t, hs, Config{DropProb: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			resp, err := hc.Get(hs.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chaos schedule not reproducible at request %d", i)
+		}
+	}
+}

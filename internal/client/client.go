@@ -3,42 +3,82 @@
 // anything that can drive a local controller — including the
 // fault-injection simulator — can drive a remote recovery daemon
 // unchanged.
+//
+// The client is built for lossy networks: every call runs under a
+// RetryPolicy (capped exponential backoff with full jitter, a per-call
+// retry budget, and a per-attempt timeout), and every request the client
+// issues is idempotent on the wire — episode starts carry a
+// client-generated clientKey and observation POSTs carry a stepIndex, both
+// of which the server deduplicates — so a retried request never corrupts an
+// episode. Requests without a dedupe key are retried only when the
+// connection could not be established at all.
 package client
 
 import (
 	"bytes"
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"bpomdp/internal/controller"
 	"bpomdp/internal/pomdp"
 	"bpomdp/internal/server"
 )
 
-// Client talks to one recovery service.
+// maxErrorBody caps how much of an error response body is read when
+// surfacing the server's message.
+const maxErrorBody = 64 << 10
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithRetryPolicy replaces the default retry policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.policy = p.withDefaults() }
+}
+
+// Client talks to one recovery service. It is safe for concurrent use as
+// long as the underlying http.Client is.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	policy RetryPolicy
 }
 
 // New returns a client for the service at baseURL (e.g.
 // "http://127.0.0.1:7947"). httpClient nil means http.DefaultClient.
-func New(baseURL string, httpClient *http.Client) (*Client, error) {
+func New(baseURL string, httpClient *http.Client, opts ...Option) (*Client, error) {
 	if baseURL == "" {
 		return nil, fmt.Errorf("client: empty base URL")
 	}
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+	c := &Client{
+		base:   strings.TrimRight(baseURL, "/"),
+		http:   httpClient,
+		policy: DefaultRetryPolicy(),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // Healthy probes /healthz.
 func (c *Client) Healthy() error {
-	resp, err := c.http.Get(c.base + "/healthz")
+	req, err := http.NewRequest(http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("client: healthz: %w", err)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: healthz: %w", err)
 	}
@@ -52,32 +92,62 @@ func (c *Client) Healthy() error {
 // Model fetches the model summary.
 func (c *Client) Model() (server.ModelResponse, error) {
 	var out server.ModelResponse
-	err := c.do(http.MethodGet, "/v1/model", nil, &out)
+	err := c.do(http.MethodGet, "/v1/model", nil, &out, idemSafe)
 	return out, err
 }
 
-// StartEpisode opens a recovery episode and returns its driver.
+// StartEpisode opens a recovery episode and returns its driver. The request
+// carries a fresh client-generated idempotency key, so a retried start that
+// raced a lost response resumes the already-created episode instead of
+// leaking a duplicate.
 func (c *Client) StartEpisode() (*Episode, error) {
+	req := server.StartRequest{ClientKey: newClientKey()}
 	var out server.StartResponse
-	if err := c.do(http.MethodPost, "/v1/episodes", nil, &out); err != nil {
+	if err := c.do(http.MethodPost, "/v1/episodes", &req, &out, idemSafe); err != nil {
 		return nil, err
 	}
 	return &Episode{c: c, id: out.EpisodeID, open: true}, nil
+}
+
+// Resume attaches to an episode already open on the server — typically one
+// that survived a daemon restart via checkpointing — synchronizing the
+// client's observation step counter with the server's.
+func (c *Client) Resume(id uint64) (*Episode, error) {
+	var st server.StatusResponse
+	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d", id), nil, &st, idemSafe); err != nil {
+		return nil, err
+	}
+	return &Episode{c: c, id: id, steps: st.Steps, open: st.Open}, nil
+}
+
+// newClientKey returns a 128-bit random idempotency key.
+func newClientKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; an empty key just
+		// downgrades the start to non-idempotent.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Episode drives one remote recovery episode. It implements
 // controller.Controller; Reset is a no-op (the server resets the episode's
 // controller when the episode is created).
 type Episode struct {
-	c    *Client
-	id   uint64
-	open bool
+	c     *Client
+	id    uint64
+	steps int
+	open  bool
 }
 
 var _ controller.Controller = (*Episode)(nil)
 
 // ID returns the server-assigned episode id.
 func (e *Episode) ID() uint64 { return e.id }
+
+// Steps returns the number of observations the client knows were applied.
+func (e *Episode) Steps() int { return e.steps }
 
 // Name implements controller.Controller.
 func (e *Episode) Name() string { return fmt.Sprintf("remote-episode-%d", e.id) }
@@ -92,10 +162,11 @@ func (e *Episode) Reset(pomdp.Belief) error {
 	return nil
 }
 
-// Decide implements controller.Controller.
+// Decide implements controller.Controller. The server caches the decision
+// for the current step, so a retried call returns the identical decision.
 func (e *Episode) Decide() (controller.Decision, error) {
 	var out server.DecisionResponse
-	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/decision", e.id), nil, &out); err != nil {
+	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/decision", e.id), nil, &out, idemSafe); err != nil {
 		return controller.Decision{}, err
 	}
 	if out.Terminate {
@@ -104,22 +175,34 @@ func (e *Episode) Decide() (controller.Decision, error) {
 	return controller.Decision{Action: out.Action, Terminate: out.Terminate, Value: out.Value}, nil
 }
 
-// Observe implements controller.Controller.
+// Observe implements controller.Controller. The request carries the
+// client's step index as a dedupe key, so a retransmit after a lost
+// response is acknowledged without being applied twice.
 func (e *Episode) Observe(action, obs int) error {
-	req := server.ObservationRequest{Action: action, Observation: obs}
-	return e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil)
+	step := e.steps
+	req := server.ObservationRequest{Action: action, Observation: obs, StepIndex: &step}
+	if err := e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil, idemSafe); err != nil {
+		return err
+	}
+	e.steps++
+	return nil
 }
 
 // ObserveNamed reports an observation by name.
 func (e *Episode) ObserveNamed(action, obs string) error {
-	req := server.ObservationRequest{ActionName: action, ObservationName: obs}
-	return e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil)
+	step := e.steps
+	req := server.ObservationRequest{ActionName: action, ObservationName: obs, StepIndex: &step}
+	if err := e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil, idemSafe); err != nil {
+		return err
+	}
+	e.steps++
+	return nil
 }
 
 // Belief implements controller.Controller by fetching the remote belief.
 func (e *Episode) Belief() pomdp.Belief {
 	var out server.BeliefResponse
-	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/belief", e.id), nil, &out); err != nil {
+	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/belief", e.id), nil, &out, idemSafe); err != nil {
 		return nil
 	}
 	return pomdp.Belief(out.Belief)
@@ -128,24 +211,73 @@ func (e *Episode) Belief() pomdp.Belief {
 // Abandon deletes the episode on the server.
 func (e *Episode) Abandon() error {
 	e.open = false
-	return e.c.do(http.MethodDelete, fmt.Sprintf("/v1/episodes/%d", e.id), nil, nil)
+	return e.c.do(http.MethodDelete, fmt.Sprintf("/v1/episodes/%d", e.id), nil, nil, idemSafe)
 }
 
-// do performs one JSON request/response round trip.
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+// do performs one JSON request/response exchange under the retry policy.
+func (c *Client) do(method, path string, in, out any, idem idempotency) error {
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
 		}
-		body = bytes.NewReader(data)
+		payload = data
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+
+	var (
+		lastErr error
+		slept   time.Duration
+	)
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.policy.backoff(attempt - 1)
+			if hinted := retryDelayHint(lastErr); hinted > delay {
+				delay = hinted
+			}
+			if slept+delay > c.policy.Budget {
+				return fmt.Errorf("client: retry budget %v exhausted after %d attempts: %w",
+					c.policy.Budget, attempt, lastErr)
+			}
+			slept += delay
+			c.policy.Sleep(delay)
+		}
+		err := c.doOnce(method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ok, _ := retryable(err, idem); !ok {
+			return err
+		}
+	}
+	return fmt.Errorf("client: %d attempts failed: %w", c.policy.MaxAttempts, lastErr)
+}
+
+// retryDelayHint extracts a server-mandated delay (Retry-After) from err.
+func retryDelayHint(err error) time.Duration {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.retryAfter
+	}
+	return 0
+}
+
+// doOnce performs a single attempt. Every path — success, HTTP error,
+// decode failure — drains and closes the response body so the underlying
+// connection is reusable and never leaks.
+func (c *Client) doOnce(method, path string, payload []byte, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.policy.PerTryTimeout)
+	defer cancel()
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -154,11 +286,23 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	defer drainClose(resp.Body)
 	if resp.StatusCode >= 400 {
-		var apiErr server.ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: %s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
+		se := &statusError{
+			method:     method,
+			path:       path,
+			code:       resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header),
 		}
-		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+		// Surface the server's JSON error message; fall back to the raw
+		// body when it is not the uniform error shape. Either way the body
+		// is fully read here and drained+closed by the deferred call.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		var apiErr server.ErrorResponse
+		if jerr := json.Unmarshal(raw, &apiErr); jerr == nil && apiErr.Error != "" {
+			se.message = apiErr.Error
+		} else if msg := strings.TrimSpace(string(raw)); msg != "" {
+			se.message = msg
+		}
+		return se
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -1,0 +1,173 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy configures the client's retry loop: capped exponential
+// backoff with full jitter, a per-call retry budget, and a per-attempt
+// timeout. The zero value means defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including the
+	// first (0 means 8; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (0 means 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (0 means 1s).
+	MaxDelay time.Duration
+	// Budget caps the cumulative backoff sleep per call; once spent, the
+	// last error is returned even if attempts remain (0 means 15s).
+	Budget time.Duration
+	// PerTryTimeout bounds each attempt via context.Context (0 means 10s).
+	PerTryTimeout time.Duration
+
+	// Rand returns a uniform value in [0,1) for jitter; nil means
+	// math/rand/v2. Injectable for deterministic tests.
+	Rand func() float64
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the policy used when none is configured.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{}.withDefaults() }
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Budget == 0 {
+		p.Budget = 15 * time.Second
+	}
+	if p.PerTryTimeout == 0 {
+		p.PerTryTimeout = 10 * time.Second
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (attempt 0 is the
+// first retry): a uniform draw from [0, min(MaxDelay, BaseDelay·2^attempt)),
+// i.e. capped exponential backoff with full jitter.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	ceil := p.MaxDelay
+	// BaseDelay << attempt, saturating instead of overflowing.
+	if attempt < 62 {
+		if d := p.BaseDelay << uint(attempt); d < ceil && d > 0 {
+			ceil = d
+		}
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return time.Duration(p.Rand() * float64(ceil))
+}
+
+// idempotency classifies how aggressively a request may be retried.
+type idempotency int
+
+const (
+	// idemSafe marks requests that are safe to retry after any failure:
+	// GETs, DELETEs, and POSTs carrying a dedupe key the server honours
+	// (clientKey on starts, stepIndex on observations).
+	idemSafe idempotency = iota
+	// idemConnOnly marks non-idempotent requests, retried only when the
+	// connection could not be established at all (the server never saw the
+	// request) or the server explicitly refused it with 429.
+	idemConnOnly
+)
+
+// statusError is an HTTP-level failure, preserving the code for retry
+// classification and any Retry-After hint the server sent.
+type statusError struct {
+	method, path string
+	code         int
+	message      string
+	retryAfter   time.Duration
+}
+
+func (e *statusError) Error() string {
+	if e.message != "" {
+		return fmt.Sprintf("client: %s %s: status %d: %s", e.method, e.path, e.code, e.message)
+	}
+	return fmt.Sprintf("client: %s %s: status %d", e.method, e.path, e.code)
+}
+
+// StatusCode extracts the HTTP status behind err, or 0 for transport-level
+// failures.
+func StatusCode(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 0
+}
+
+// retryable decides whether err warrants another attempt under the given
+// idempotency class, and any server-mandated delay before it.
+func retryable(err error, idem idempotency) (bool, time.Duration) {
+	if err == nil {
+		return false, 0
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		switch {
+		case se.code == http.StatusTooManyRequests:
+			// The server refused before doing any work; always safe.
+			return true, se.retryAfter
+		case se.code >= 500:
+			return idem == idemSafe, se.retryAfter
+		default:
+			return false, 0
+		}
+	}
+	if idem == idemSafe {
+		// Any transport error: timeout, reset, refused — the request is
+		// safe to re-send.
+		return true, 0
+	}
+	return isConnError(err), 0
+}
+
+// isConnError reports whether err happened before the request could have
+// reached the server (dial failure), making even non-idempotent requests
+// safe to retry.
+func isConnError(err error) bool {
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return op.Op == "dial"
+	}
+	return false
+}
+
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

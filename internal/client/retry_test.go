@@ -1,0 +1,215 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	// With Rand pinned to 0.5, the full-jitter draw is exactly half the
+	// exponential ceiling, so the whole schedule is checkable.
+	p := RetryPolicy{
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  80 * time.Millisecond,
+		Rand:      func() float64 { return 0.5 },
+	}.withDefaults()
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 5 * time.Millisecond},   // ceil = base
+		{1, 10 * time.Millisecond},  // ceil = 2·base
+		{2, 20 * time.Millisecond},  // ceil = 4·base
+		{3, 40 * time.Millisecond},  // ceil = cap (80ms)
+		{10, 40 * time.Millisecond}, // still capped
+		{70, 40 * time.Millisecond}, // shift would overflow; capped
+	}
+	for _, tc := range cases {
+		if got := p.backoff(tc.attempt); got != tc.want {
+			t.Errorf("backoff(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffJitterRange(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 64 * time.Millisecond}.withDefaults()
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := time.Duration(1<<uint(attempt)) * time.Millisecond
+		if ceil > p.MaxDelay {
+			ceil = p.MaxDelay
+		}
+		for i := 0; i < 200; i++ {
+			d := p.backoff(attempt)
+			if d < 0 || d >= ceil {
+				t.Fatalf("backoff(%d) = %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	dial := &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("refused")}
+	read := &net.OpError{Op: "read", Net: "tcp", Err: errors.New("reset")}
+	cases := []struct {
+		name string
+		err  error
+		idem idempotency
+		want bool
+	}{
+		{"nil", nil, idemSafe, false},
+		{"transport-idem", fmt.Errorf("wrap: %w", read), idemSafe, true},
+		{"transport-connonly", fmt.Errorf("wrap: %w", read), idemConnOnly, false},
+		{"dial-connonly", fmt.Errorf("wrap: %w", dial), idemConnOnly, true},
+		{"429-connonly", &statusError{code: http.StatusTooManyRequests}, idemConnOnly, true},
+		{"500-idem", &statusError{code: http.StatusInternalServerError}, idemSafe, true},
+		{"503-idem", &statusError{code: http.StatusServiceUnavailable}, idemSafe, true},
+		{"500-connonly", &statusError{code: http.StatusInternalServerError}, idemConnOnly, false},
+		{"404-idem", &statusError{code: http.StatusNotFound}, idemSafe, false},
+		{"409-idem", &statusError{code: http.StatusConflict}, idemSafe, false},
+		{"422-idem", &statusError{code: http.StatusUnprocessableEntity}, idemSafe, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, _ := retryable(tc.err, tc.idem)
+			if got != tc.want {
+				t.Errorf("retryable(%v, %v) = %v, want %v", tc.err, tc.idem, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRetryAfterHonoured(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"episodeId":7}`)
+	}))
+	defer hs.Close()
+
+	var slept []time.Duration
+	c, err := New(hs.URL, hs.Client(), WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    time.Microsecond,
+		Budget:      5 * time.Second,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := c.StartEpisode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.ID() != 7 {
+		t.Errorf("episode id %d", ep.ID())
+	}
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Errorf("sleeps %v, want [1s] from Retry-After", slept)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"kaboom"}`, http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	// Each backoff is exactly 8ms (Rand pinned to 1 is illegal; pin 0.5 of
+	// a 16ms ceiling); a 20ms budget admits two retries, not three.
+	var slept time.Duration
+	c, err := New(hs.URL, hs.Client(), WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   16 * time.Millisecond,
+		MaxDelay:    16 * time.Millisecond,
+		Budget:      20 * time.Millisecond,
+		Rand:        func() float64 { return 0.5 },
+		Sleep:       func(d time.Duration) { slept += d },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.do(http.MethodGet, "/v1/model", nil, nil, idemSafe)
+	if err == nil {
+		t.Fatal("budget-limited call succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("error %v does not mention the budget", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error %v lost the server message", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (first + two affordable retries)", got)
+	}
+	if slept != 16*time.Millisecond {
+		t.Errorf("total sleep %v, want 16ms", slept)
+	}
+}
+
+func TestNonIdempotentNotRetriedOnHTTPError(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"flaky"}`, http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+	c, err := New(hs.URL, hs.Client(), WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) {},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.do(http.MethodPost, "/x", nil, nil, idemConnOnly); err == nil {
+		t.Fatal("500 surfaced as success")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("non-idempotent POST attempted %d times, want 1", got)
+	}
+}
+
+func TestMaxAttemptsExhaustion(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+	c, err := New(hs.URL, hs.Client(), WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    time.Microsecond,
+		Sleep:       func(time.Duration) {},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.do(http.MethodGet, "/v1/model", nil, nil, idemSafe)
+	if err == nil {
+		t.Fatal("always-503 call succeeded")
+	}
+	if !strings.Contains(err.Error(), "4 attempts") {
+		t.Errorf("error %v does not report attempts", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Errorf("attempts = %d, want 4", got)
+	}
+	if StatusCode(err) != http.StatusServiceUnavailable {
+		t.Errorf("StatusCode(err) = %d", StatusCode(err))
+	}
+}

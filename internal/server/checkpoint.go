@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Step is one applied (action, observation) pair of an episode's history.
+type Step struct {
+	Action      int `json:"action"`
+	Observation int `json:"observation"`
+}
+
+// EpisodeState is the serializable snapshot of one open episode: everything
+// a restarted daemon needs to rebuild the episode's controller by replaying
+// its history through a fresh controller from the configured factory.
+type EpisodeState struct {
+	// EpisodeID is the server-assigned episode id.
+	EpisodeID uint64 `json:"episodeId"`
+	// Controller is the controller's Name() at snapshot time (informational;
+	// restore always uses the configured factory).
+	Controller string `json:"controller"`
+	// ClientKey is the client-generated idempotency key the episode was
+	// started with, if any, so duplicate start requests keep deduplicating
+	// across a restart.
+	ClientKey string `json:"clientKey,omitempty"`
+	// Steps is the number of observations applied so far.
+	Steps int `json:"steps"`
+	// Belief is the controller's belief after the recorded history; restore
+	// verifies the replayed belief against it to detect model drift between
+	// the checkpoint and the restarted daemon.
+	Belief []float64 `json:"belief"`
+	// History is the full (action, observation) sequence applied since Reset.
+	History []Step `json:"history"`
+}
+
+// Checkpointer persists episode snapshots across daemon restarts. Save is
+// called after every state-changing request (write-ahead with respect to the
+// response), Delete when an episode terminates or is abandoned, and LoadAll
+// once at startup.
+//
+// Implementations must tolerate concurrent Save/Delete calls for *different*
+// episodes; calls for the same episode are serialized by the server.
+type Checkpointer interface {
+	Save(st EpisodeState) error
+	Delete(id uint64) error
+	LoadAll() ([]EpisodeState, error)
+}
+
+// DirCheckpointer stores one JSON file per episode in a directory
+// (episode-<id>.json), written atomically via a temp file + rename so a
+// crash mid-write never corrupts an existing checkpoint.
+type DirCheckpointer struct {
+	dir string
+}
+
+var _ Checkpointer = (*DirCheckpointer)(nil)
+
+// NewDirCheckpointer creates dir if needed and returns a checkpointer over
+// it.
+func NewDirCheckpointer(dir string) (*DirCheckpointer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	return &DirCheckpointer{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *DirCheckpointer) Dir() string { return c.dir }
+
+func (c *DirCheckpointer) path(id uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("episode-%d.json", id))
+}
+
+// Save implements Checkpointer.
+func (c *DirCheckpointer) Save(st EpisodeState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("server: encode checkpoint %d: %w", st.EpisodeID, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, fmt.Sprintf(".episode-%d-*.tmp", st.EpisodeID))
+	if err != nil {
+		return fmt.Errorf("server: checkpoint %d: %w", st.EpisodeID, err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, c.path(st.EpisodeID))
+	}
+	if werr != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("server: checkpoint %d: %w", st.EpisodeID, werr)
+	}
+	return nil
+}
+
+// Delete implements Checkpointer. Deleting a checkpoint that does not exist
+// is not an error.
+func (c *DirCheckpointer) Delete(id uint64) error {
+	if err := os.Remove(c.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("server: delete checkpoint %d: %w", id, err)
+	}
+	return nil
+}
+
+// LoadAll implements Checkpointer, returning snapshots sorted by episode id.
+// Corrupt files do not abort the load: the good snapshots are returned
+// alongside an aggregate error describing the bad ones.
+func (c *DirCheckpointer) LoadAll() ([]EpisodeState, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: read checkpoint dir: %w", err)
+	}
+	var (
+		out  []EpisodeState
+		errs []string
+	)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "episode-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		idText := strings.TrimSuffix(strings.TrimPrefix(name, "episode-"), ".json")
+		id, err := strconv.ParseUint(idText, 10, 64)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: bad id", name))
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(c.dir, name))
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		var st EpisodeState
+		if err := json.Unmarshal(data, &st); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		if st.EpisodeID != id {
+			errs = append(errs, fmt.Sprintf("%s: id %d inside file", name, st.EpisodeID))
+			continue
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EpisodeID < out[j].EpisodeID })
+	if len(errs) > 0 {
+		return out, fmt.Errorf("server: %d corrupt checkpoint(s): %s", len(errs), strings.Join(errs, "; "))
+	}
+	return out, nil
+}

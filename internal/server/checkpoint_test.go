@@ -1,0 +1,326 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bpomdp/internal/pomdp"
+)
+
+func TestDirCheckpointerRoundTrip(t *testing.T) {
+	cp, err := NewDirCheckpointer(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := EpisodeState{EpisodeID: 2, Controller: "bounded(depth=1)", Steps: 1,
+		Belief: []float64{0.5, 0.5}, History: []Step{{Action: 2, Observation: 1}}}
+	b := EpisodeState{EpisodeID: 1, ClientKey: "k", Steps: 0, Belief: []float64{1, 0}}
+	for _, st := range []EpisodeState{a, b} {
+		if err := cp.Save(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cp.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].EpisodeID != 1 || got[1].EpisodeID != 2 {
+		t.Fatalf("LoadAll = %+v", got)
+	}
+	if !reflect.DeepEqual(got[1], a) {
+		t.Errorf("round-trip mismatch: %+v vs %+v", got[1], a)
+	}
+	// Overwrite is atomic and idempotent.
+	a.Steps = 2
+	a.History = append(a.History, Step{Action: 0, Observation: 0})
+	if err := cp.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cp.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Steps != 2 {
+		t.Fatalf("after overwrite: %+v", got)
+	}
+	if err := cp.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Delete(2); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+	got, err = cp.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].EpisodeID != 1 {
+		t.Fatalf("after delete: %+v", got)
+	}
+}
+
+func TestDirCheckpointerCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := NewDirCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(EpisodeState{EpisodeID: 7, Belief: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "episode-8.json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.LoadAll()
+	if err == nil {
+		t.Error("corrupt checkpoint not reported")
+	}
+	if len(got) != 1 || got[0].EpisodeID != 7 {
+		t.Errorf("good checkpoint lost: %+v", got)
+	}
+}
+
+// TestCrashRestartResume kills a server mid-episode and verifies a new
+// server over the same checkpoint directory resumes the episode with the
+// same step count and belief.
+func TestCrashRestartResume(t *testing.T) {
+	prep := testPrepared(t)
+	cp, err := NewDirCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: prep.Model, NewController: boundedFactory(prep), Checkpointer: cp}
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1)
+
+	resp, err := http.Post(hs1.URL+"/v1/episodes", "application/json", strings.NewReader(`{"clientKey":"ck-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// One decision + observation so the checkpoint has history.
+	resp, err = http.Get(hs1.URL + "/v1/episodes/1/decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d DecisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d.Terminate {
+		t.Fatal("terminated on the first decision")
+	}
+	sc := pomdp.NewScratch(prep.Model)
+	succs := prep.Model.Successors(sc, pomdp.PointBelief(prep.Model.NumStates(), 0), d.Action)
+	body := fmt.Sprintf(`{"action":%d,"observation":%d,"stepIndex":0}`, d.Action, succs[0].Obs)
+	or, err := http.Post(hs1.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	or.Body.Close()
+	if or.StatusCode != http.StatusNoContent {
+		t.Fatalf("observation status %d", or.StatusCode)
+	}
+	var beforeBelief BeliefResponse
+	resp, err = http.Get(hs1.URL + "/v1/episodes/1/belief")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&beforeBelief); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// "Crash": the first server vanishes without Close (no final snapshot
+	// needed — every observation already checkpointed write-ahead).
+	hs1.Close()
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := srv2.Restored()
+	if rep.Resumed != 1 || len(rep.Failed) != 0 || rep.LoadErr != nil {
+		t.Fatalf("restore report %+v", rep)
+	}
+	hs2 := httptest.NewServer(srv2)
+	defer hs2.Close()
+
+	// Same id, same step count, same belief, and the idempotency key still
+	// deduplicates.
+	resp, err = http.Get(hs2.URL + "/v1/episodes/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Open || st.Steps != 1 {
+		t.Errorf("resumed status %+v", st)
+	}
+	var afterBelief BeliefResponse
+	resp, err = http.Get(hs2.URL + "/v1/episodes/1/belief")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&afterBelief); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reflect.DeepEqual(beforeBelief, afterBelief) {
+		t.Errorf("belief changed across restart: %v vs %v", beforeBelief, afterBelief)
+	}
+	resp, err = http.Post(hs2.URL+"/v1/episodes", "application/json", strings.NewReader(`{"clientKey":"ck-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again StartResponse
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || again.EpisodeID != 1 {
+		t.Errorf("clientKey lost across restart: status %d id %d", resp.StatusCode, again.EpisodeID)
+	}
+}
+
+// TestReplayDeterminism: the same history replayed through a fresh
+// controller yields the same belief and a byte-identical decision — the
+// property the restore path depends on.
+func TestReplayDeterminism(t *testing.T) {
+	prep := testPrepared(t)
+	// Histories are generated from action sequences (restart-a=0,
+	// restart-b=1, observe=2); the observation at each step is the first
+	// possible successor under the current belief, so every history is
+	// legal by construction.
+	cases := []struct {
+		name    string
+		actions []int
+	}{
+		{"empty", nil},
+		{"one-observe", []int{2}},
+		{"observe-then-restart", []int{2, 0}},
+		{"longer", []int{2, 0, 2, 1}},
+	}
+	buildHistory := func(actions []int) []Step {
+		t.Helper()
+		ctrl, initial, err := boundedFactory(prep)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctrl.Reset(initial); err != nil {
+			t.Fatal(err)
+		}
+		sc := pomdp.NewScratch(prep.Model)
+		var hist []Step
+		for _, a := range actions {
+			succs := prep.Model.Successors(sc, ctrl.Belief(), a)
+			if len(succs) == 0 {
+				t.Fatalf("no successors for action %d", a)
+			}
+			obs := succs[0].Obs
+			if err := ctrl.Observe(a, obs); err != nil {
+				t.Fatal(err)
+			}
+			hist = append(hist, Step{Action: a, Observation: obs})
+		}
+		return hist
+	}
+	run := func(history []Step) (pomdp.Belief, []byte) {
+		t.Helper()
+		ctrl, initial, err := boundedFactory(prep)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctrl.Reset(initial); err != nil {
+			t.Fatal(err)
+		}
+		for i, step := range history {
+			if err := ctrl.Observe(step.Action, step.Observation); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		d, err := ctrl.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(DecisionResponse{Action: d.Action, Terminate: d.Terminate, Value: d.Value})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl.Belief(), data
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			history := buildHistory(tc.actions)
+			b1, d1 := run(history)
+			b2, d2 := run(history)
+			if !reflect.DeepEqual(b1, b2) {
+				t.Errorf("beliefs diverge: %v vs %v", b1, b2)
+			}
+			if string(d1) != string(d2) {
+				t.Errorf("decisions diverge: %s vs %s", d1, d2)
+			}
+		})
+	}
+}
+
+func TestRestoreSkipsBadCheckpoints(t *testing.T) {
+	prep := testPrepared(t)
+	cp, err := NewDirCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint whose history is impossible under the model: replay must
+	// fail, the episode must be reported, and the server must still come up.
+	bad := EpisodeState{EpisodeID: 5, Steps: 1, History: []Step{{Action: 2, Observation: 40}}}
+	if err := cp.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+	good := EpisodeState{EpisodeID: 9, Steps: 0}
+	if err := cp.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep), Checkpointer: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Restored()
+	if rep.Resumed != 1 {
+		t.Errorf("resumed %d, want 1", rep.Resumed)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0].EpisodeID != 5 {
+		t.Errorf("failed %+v", rep.Failed)
+	}
+	if srv.OpenEpisodes() != 1 {
+		t.Errorf("open episodes = %d", srv.OpenEpisodes())
+	}
+	// New episodes must not collide with restored ids.
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out StartResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.EpisodeID <= 9 {
+		t.Errorf("new episode id %d collides with restored range", out.EpisodeID)
+	}
+}

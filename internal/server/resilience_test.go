@@ -1,0 +1,429 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/models"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+// panicController panics on Decide, to exercise the recovery middleware.
+type panicController struct{ belief pomdp.Belief }
+
+func (p *panicController) Reset(initial pomdp.Belief) error { p.belief = initial.Clone(); return nil }
+func (p *panicController) Decide() (controller.Decision, error) {
+	panic("scripted controller panic")
+}
+func (p *panicController) Observe(int, int) error { return nil }
+func (p *panicController) Belief() pomdp.Belief   { return p.belief.Clone() }
+func (p *panicController) Name() string           { return "panic" }
+
+// testPrepared builds the shared two-server Prepared used by resilience
+// tests.
+func testPrepared(t *testing.T) *core.Prepared {
+	t.Helper()
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := &core.RecoveryModel{
+		POMDP:           ts.Model,
+		NullStates:      ts.NullStates,
+		RateRewards:     ts.RateRewards,
+		Durations:       []float64{1, 1, 0},
+		MonitorAction:   ts.ActionObserve,
+		MonitorDuration: 0.1,
+	}
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Bootstrap(10, controller.VariantAverage, 1, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	return prep
+}
+
+func boundedFactory(prep *core.Prepared) Factory {
+	return func() (controller.Controller, pomdp.Belief, error) {
+		ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		initial, err := prep.InitialBelief()
+		return ctrl, initial, err
+	}
+}
+
+func metricsBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestPanicBecomesInternalError(t *testing.T) {
+	prep := testPrepared(t)
+	srv, err := New(Config{
+		Model: prep.Model,
+		NewController: func() (controller.Controller, pomdp.Belief, error) {
+			initial, err := prep.InitialBelief()
+			return &panicController{}, initial, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("start status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(hs.URL + "/v1/episodes/1/decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panic status %d", resp.StatusCode)
+	}
+	if !strings.Contains(apiErr.Error, "panic") {
+		t.Errorf("panic error body %q", apiErr.Error)
+	}
+	if !strings.Contains(metricsBody(t, hs.URL), "recoverd_panics_total 1") {
+		t.Error("panics_total not incremented")
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	prep := testPrepared(t)
+	srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep), MaxBodyBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	huge := fmt.Sprintf(`{"action":0,"observation":0,"actionName":%q}`, strings.Repeat("x", 4096))
+	resp, err = http.Post(hs.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status %d", resp.StatusCode)
+	}
+}
+
+func TestRetryAfterOnEpisodeCap(t *testing.T) {
+	prep := testPrepared(t)
+	srv, err := New(Config{
+		Model:         prep.Model,
+		NewController: boundedFactory(prep),
+		MaxEpisodes:   1,
+		RetryAfter:    3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After %q, want 3", got)
+	}
+}
+
+func TestStartIdempotencyKey(t *testing.T) {
+	prep := testPrepared(t)
+	srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	start := func() (int, StartResponse) {
+		resp, err := http.Post(hs.URL+"/v1/episodes", "application/json",
+			strings.NewReader(`{"clientKey":"k-123"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out StartResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+	code1, first := start()
+	code2, second := start()
+	if code1 != http.StatusCreated || code2 != http.StatusOK {
+		t.Errorf("statuses %d/%d, want 201/200", code1, code2)
+	}
+	if first.EpisodeID != second.EpisodeID {
+		t.Errorf("duplicate start created a second episode: %d vs %d", first.EpisodeID, second.EpisodeID)
+	}
+	if srv.OpenEpisodes() != 1 {
+		t.Errorf("open episodes = %d", srv.OpenEpisodes())
+	}
+	if !strings.Contains(metricsBody(t, hs.URL), "recoverd_deduped_starts_total 1") {
+		t.Error("deduped_starts_total not incremented")
+	}
+}
+
+func TestObservationStepIndexDedupe(t *testing.T) {
+	prep := testPrepared(t)
+	srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	steps := func() int {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/v1/episodes/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Steps
+	}
+
+	obs := `{"actionName":"observe","observationName":"obs-a-failed","stepIndex":0}`
+	if code := post(obs); code != http.StatusNoContent {
+		t.Fatalf("first observation status %d", code)
+	}
+	if got := steps(); got != 1 {
+		t.Fatalf("steps after first observation = %d", got)
+	}
+	// Retransmit of step 0: acknowledged, not re-applied.
+	if code := post(obs); code != http.StatusNoContent {
+		t.Errorf("retransmit status %d", code)
+	}
+	if got := steps(); got != 1 {
+		t.Errorf("steps after retransmit = %d (duplicate was applied)", got)
+	}
+	// A step from the future is a protocol error.
+	if code := post(`{"actionName":"observe","observationName":"obs-a-failed","stepIndex":5}`); code != http.StatusConflict {
+		t.Errorf("out-of-order status %d", code)
+	}
+	if !strings.Contains(metricsBody(t, hs.URL), "recoverd_deduped_observations_total 1") {
+		t.Error("deduped_observations_total not incremented")
+	}
+}
+
+func TestDecisionCachedPerStep(t *testing.T) {
+	prep := testPrepared(t)
+	srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	get := func() []byte {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/v1/episodes/1/decision")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := get()
+	second := get()
+	if string(first) != string(second) {
+		t.Errorf("retried decision differs:\n%s\n%s", first, second)
+	}
+	if srv.decisions.Load() != 1 {
+		t.Errorf("decisions_total = %d, want 1 (second call must be served from cache)", srv.decisions.Load())
+	}
+}
+
+func TestTerminalDecisionSurvivesAsTombstone(t *testing.T) {
+	prep := testPrepared(t)
+	srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Drive to termination with healthy-system observations.
+	model := prep.Model
+	sc := pomdp.NewScratch(model)
+	var final DecisionResponse
+	for step := 0; step < 50; step++ {
+		resp, err := http.Get(hs.URL + "/v1/episodes/1/decision")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d DecisionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d.Terminate {
+			final = d
+			break
+		}
+		succs := model.Successors(sc, pomdp.PointBelief(model.NumStates(), 0), d.Action)
+		body := fmt.Sprintf(`{"action":%d,"observation":%d}`, d.Action, succs[0].Obs)
+		or, err := http.Post(hs.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		or.Body.Close()
+	}
+	if !final.Terminate {
+		t.Fatal("episode did not terminate")
+	}
+	if srv.OpenEpisodes() != 0 {
+		t.Fatalf("open episodes after terminate = %d", srv.OpenEpisodes())
+	}
+
+	// A client whose terminal response was lost retries and still gets it.
+	resp, err = http.Get(hs.URL + "/v1/episodes/1/decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed DecisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&replayed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || replayed != final {
+		t.Errorf("tombstone decision %+v (status %d), want %+v", replayed, resp.StatusCode, final)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	prep := testPrepared(t)
+	// The fake clock is guarded because the eviction janitor may read it
+	// concurrently with the test advancing it.
+	var mu sync.Mutex
+	now := time.Now()
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+	srv, err := New(Config{
+		Model:         prep.Model,
+		NewController: boundedFactory(prep),
+		EpisodeTTL:    time.Minute,
+		now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if srv.OpenEpisodes() != 1 {
+		t.Fatalf("open episodes = %d", srv.OpenEpisodes())
+	}
+	if n := srv.Sweep(); n != 0 {
+		t.Fatalf("fresh episode evicted (%d)", n)
+	}
+	advance(2 * time.Minute)
+	if n := srv.Sweep(); n != 1 {
+		t.Fatalf("Sweep evicted %d, want 1", n)
+	}
+	if srv.OpenEpisodes() != 0 {
+		t.Errorf("open episodes after eviction = %d", srv.OpenEpisodes())
+	}
+	if !strings.Contains(metricsBody(t, hs.URL), "recoverd_episodes_evicted_total 1") {
+		t.Error("episodes_evicted_total not incremented")
+	}
+}

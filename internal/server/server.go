@@ -9,6 +9,7 @@
 //	GET    /metrics                        plain-text counters
 //	GET    /v1/model                       model summary (names, shapes)
 //	POST   /v1/episodes                    start an episode  -> {"episodeId": ...}
+//	GET    /v1/episodes/{id}               episode status (steps, open)
 //	GET    /v1/episodes/{id}/decision      next action       -> Decision
 //	POST   /v1/episodes/{id}/observations  report an observation
 //	GET    /v1/episodes/{id}/belief        current belief
@@ -17,16 +18,41 @@
 // Controllers are stateful and single-threaded, so every episode gets its
 // own controller from the configured factory, and requests within an
 // episode are serialized.
+//
+// # Failure model
+//
+// The service is built to survive its own failures as well as its clients':
+//
+//   - Crash-restart: with a Checkpointer configured, every state-changing
+//     request persists an EpisodeState snapshot (id, step count, belief,
+//     full action/observation history) before the response is sent. A
+//     restarted server replays each history through a fresh controller from
+//     the factory and resumes all open episodes under their original ids.
+//   - Retried requests: decisions are cached per step, so a retried
+//     GET .../decision returns the identical bytes without re-running the
+//     controller; observation POSTs carry a client-generated stepIndex and
+//     duplicates are acknowledged without being applied twice; episode
+//     starts carry a client-generated clientKey and duplicates return the
+//     already-created episode. Terminal decisions survive as tombstones so
+//     a client whose final response was lost can still learn the outcome.
+//   - Abandoned monitors: episodes idle longer than EpisodeTTL are evicted
+//     (counted in recoverd_episodes_evicted_total) so a hung monitor cannot
+//     leak controllers forever.
+//   - Hostile input: request bodies are capped with http.MaxBytesReader and
+//     handler panics become 500s (counted in recoverd_panics_total) rather
+//     than daemon crashes.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bpomdp/internal/controller"
 	"bpomdp/internal/pomdp"
@@ -45,32 +71,101 @@ type Config struct {
 	NewController Factory
 	// MaxEpisodes bounds concurrently open episodes (0 means 1024).
 	MaxEpisodes int
+	// Checkpointer, when non-nil, persists episode state across restarts:
+	// snapshots are saved after every state-changing request and replayed
+	// through fresh controllers by New.
+	Checkpointer Checkpointer
+	// EpisodeTTL evicts episodes idle longer than this (abandoned-monitor
+	// GC). 0 disables eviction.
+	EpisodeTTL time.Duration
+	// MaxBodyBytes caps request body size (0 means 1 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint returned with 429 responses when
+	// MaxEpisodes is hit (0 means 1 second).
+	RetryAfter time.Duration
+	// now overrides time.Now in tests.
+	now func() time.Time
 }
 
 // Server is the HTTP recovery service. Create one with New and mount it as
-// an http.Handler.
+// an http.Handler. Call Close on shutdown to stop the eviction janitor and
+// write a final checkpoint of every open episode.
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
-	mu       sync.Mutex
-	episodes map[uint64]*episode
-	nextID   uint64
+	mu         sync.Mutex
+	episodes   map[uint64]*episode
+	byKey      map[string]uint64 // clientKey -> open episode id
+	tombstones map[uint64]*tombstone
+	nextID     uint64
+	closed     bool
 
-	started    atomic.Uint64
-	terminated atomic.Uint64
-	decisions  atomic.Uint64
-	observed   atomic.Uint64
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	restored RestoreReport
+
+	started          atomic.Uint64
+	terminated       atomic.Uint64
+	decisions        atomic.Uint64
+	observed         atomic.Uint64
+	evicted          atomic.Uint64
+	panics           atomic.Uint64
+	dedupedStarts    atomic.Uint64
+	dedupedObs       atomic.Uint64
+	checkpointErrors atomic.Uint64
 }
 
+// episode is one live episode. Its mutex serializes controller access and
+// protects the mutable bookkeeping fields.
 type episode struct {
-	mu   sync.Mutex
-	ctrl controller.Controller
+	mu        sync.Mutex
+	id        uint64
+	ctrl      controller.Controller
+	clientKey string
+	steps     int
+	history   []Step
+	// lastDecision caches the decision computed for the current step so a
+	// retried GET returns identical bytes without re-running the controller.
+	// Invalidated by each applied observation.
+	lastDecision *DecisionResponse
+	lastActive   time.Time
+}
+
+// tombstone remembers a terminated episode's final decision so a client
+// whose response was lost by the network can retry the GET and still learn
+// the episode is over.
+type tombstone struct {
+	final DecisionResponse
+	at    time.Time
+}
+
+// maxTombstones caps remembered terminal decisions; the oldest is evicted
+// past the cap.
+const maxTombstones = 4096
+
+// RestoreFailure describes one checkpoint that could not be resumed.
+type RestoreFailure struct {
+	EpisodeID uint64
+	Err       error
+}
+
+// RestoreReport summarizes checkpoint recovery performed by New.
+type RestoreReport struct {
+	// Resumed counts episodes successfully rebuilt by history replay.
+	Resumed int
+	// Failed lists episodes whose replay failed; their checkpoint files are
+	// left in place for inspection but the episodes are not served.
+	Failed []RestoreFailure
+	// LoadErr records checkpoint files that could not be read at all.
+	LoadErr error
 }
 
 var _ http.Handler = (*Server)(nil)
 
-// New validates the configuration and returns a ready-to-mount Server.
+// New validates the configuration, restores any checkpointed episodes, and
+// returns a ready-to-mount Server.
 func New(cfg Config) (*Server, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("server: nil model")
@@ -87,24 +182,216 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxEpisodes < 0 {
 		return nil, fmt.Errorf("server: negative episode cap %d", cfg.MaxEpisodes)
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("server: negative body cap %d", cfg.MaxBodyBytes)
+	}
+	if cfg.EpisodeTTL < 0 {
+		return nil, fmt.Errorf("server: negative episode TTL %v", cfg.EpisodeTTL)
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		episodes: make(map[uint64]*episode),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		episodes:   make(map[uint64]*episode),
+		byKey:      make(map[string]uint64),
+		tombstones: make(map[uint64]*tombstone),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
 	s.mux.HandleFunc("POST /v1/episodes", s.handleStart)
+	s.mux.HandleFunc("GET /v1/episodes/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/episodes/{id}/decision", s.handleDecision)
 	s.mux.HandleFunc("POST /v1/episodes/{id}/observations", s.handleObservation)
 	s.mux.HandleFunc("GET /v1/episodes/{id}/belief", s.handleBelief)
 	s.mux.HandleFunc("DELETE /v1/episodes/{id}", s.handleDelete)
+	if cfg.Checkpointer != nil {
+		s.restore()
+	}
+	if cfg.EpisodeTTL > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// restore rebuilds episodes from checkpoints by replaying each recorded
+// history through a fresh controller from the factory.
+func (s *Server) restore() {
+	states, err := s.cfg.Checkpointer.LoadAll()
+	s.restored.LoadErr = err
+	for _, st := range states {
+		if st.EpisodeID > s.nextID {
+			s.nextID = st.EpisodeID
+		}
+		ep, rerr := s.replay(st)
+		if rerr != nil {
+			s.restored.Failed = append(s.restored.Failed, RestoreFailure{EpisodeID: st.EpisodeID, Err: rerr})
+			continue
+		}
+		s.episodes[st.EpisodeID] = ep
+		if st.ClientKey != "" {
+			s.byKey[st.ClientKey] = st.EpisodeID
+		}
+		s.restored.Resumed++
+	}
+}
+
+// replay builds a fresh controller and feeds it the checkpointed history,
+// verifying the resulting belief against the snapshot.
+func (s *Server) replay(st EpisodeState) (*episode, error) {
+	ctrl, initial, err := s.cfg.NewController()
+	if err != nil {
+		return nil, fmt.Errorf("controller factory: %w", err)
+	}
+	if err := ctrl.Reset(initial); err != nil {
+		return nil, fmt.Errorf("reset: %w", err)
+	}
+	for i, step := range st.History {
+		if err := ctrl.Observe(step.Action, step.Observation); err != nil {
+			return nil, fmt.Errorf("replay step %d (action %d, obs %d): %w", i, step.Action, step.Observation, err)
+		}
+	}
+	if len(st.Belief) > 0 {
+		got := ctrl.Belief()
+		if len(got) != len(st.Belief) {
+			return nil, fmt.Errorf("replayed belief has %d states, checkpoint %d — model changed under the checkpoint", len(got), len(st.Belief))
+		}
+		for i := range got {
+			if math.Abs(got[i]-st.Belief[i]) > 1e-9 {
+				return nil, fmt.Errorf("replayed belief diverges from checkpoint at state %d (%v vs %v)", i, got[i], st.Belief[i])
+			}
+		}
+	}
+	return &episode{
+		id:         st.EpisodeID,
+		ctrl:       ctrl,
+		clientKey:  st.ClientKey,
+		steps:      st.Steps,
+		history:    append([]Step(nil), st.History...),
+		lastActive: s.cfg.now(),
+	}, nil
+}
+
+// Restored reports what New recovered from the checkpointer.
+func (s *Server) Restored() RestoreReport { return s.restored }
+
+// ServeHTTP implements http.Handler. Handler panics are converted into 500
+// responses and counted rather than crashing the daemon.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil && rec != http.ErrAbortHandler {
+			s.panics.Add(1)
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the eviction janitor and, when a checkpointer is configured,
+// writes a final snapshot of every open episode so a restart resumes them.
+// It is idempotent and safe to call while requests are still draining,
+// though callers should prefer http.Server.Shutdown first.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	eps := make([]*episode, 0, len(s.episodes))
+	for _, ep := range s.episodes {
+		eps = append(eps, ep)
+	}
+	s.mu.Unlock()
+
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
+	var firstErr error
+	if s.cfg.Checkpointer != nil {
+		for _, ep := range eps {
+			ep.mu.Lock()
+			st := ep.snapshotLocked()
+			ep.mu.Unlock()
+			if err := s.cfg.Checkpointer.Save(st); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// janitor periodically evicts idle episodes and expired tombstones.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	interval := s.cfg.EpisodeTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// Sweep evicts episodes idle longer than EpisodeTTL and tombstones older
+// than the TTL, returning how many episodes were evicted. The janitor calls
+// it periodically; tests may call it directly.
+func (s *Server) Sweep() int {
+	if s.cfg.EpisodeTTL <= 0 {
+		return 0
+	}
+	now := s.cfg.now()
+	cutoff := now.Add(-s.cfg.EpisodeTTL)
+
+	s.mu.Lock()
+	var expired []*episode
+	for _, ep := range s.episodes {
+		ep.mu.Lock()
+		idle := ep.lastActive.Before(cutoff)
+		ep.mu.Unlock()
+		if idle {
+			expired = append(expired, ep)
+			delete(s.episodes, ep.id)
+			if ep.clientKey != "" {
+				delete(s.byKey, ep.clientKey)
+			}
+		}
+	}
+	for id, tb := range s.tombstones {
+		if tb.at.Before(cutoff) {
+			delete(s.tombstones, id)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, ep := range expired {
+		s.evicted.Add(1)
+		if s.cfg.Checkpointer != nil {
+			if err := s.cfg.Checkpointer.Delete(ep.id); err != nil {
+				s.checkpointErrors.Add(1)
+			}
+		}
+	}
+	return len(expired)
+}
 
 // OpenEpisodes reports the number of live episodes (for tests and metrics).
 func (s *Server) OpenEpisodes() int {
@@ -115,9 +402,21 @@ func (s *Server) OpenEpisodes() int {
 
 // API payloads.
 type (
+	// StartRequest is the optional body of POST /v1/episodes. ClientKey is a
+	// client-generated idempotency key: starting twice with the same key
+	// returns the same episode instead of creating a duplicate.
+	StartRequest struct {
+		ClientKey string `json:"clientKey,omitempty"`
+	}
 	// StartResponse is returned by POST /v1/episodes.
 	StartResponse struct {
 		EpisodeID uint64 `json:"episodeId"`
+	}
+	// StatusResponse is returned by GET /v1/episodes/{id}.
+	StatusResponse struct {
+		EpisodeID uint64 `json:"episodeId"`
+		Steps     int    `json:"steps"`
+		Open      bool   `json:"open"`
 	}
 	// DecisionResponse is returned by GET .../decision.
 	DecisionResponse struct {
@@ -128,11 +427,15 @@ type (
 	}
 	// ObservationRequest is accepted by POST .../observations. Either the
 	// numeric indices or the names may be used; names win when both are set.
+	// StepIndex, when set, is the client's count of observations already
+	// applied: a request with StepIndex below the server's count is a
+	// retransmit and is acknowledged without being applied again.
 	ObservationRequest struct {
 		Action          int    `json:"action"`
 		Observation     int    `json:"observation"`
 		ActionName      string `json:"actionName,omitempty"`
 		ObservationName string `json:"observationName,omitempty"`
+		StepIndex       *int   `json:"stepIndex,omitempty"`
 	}
 	// BeliefResponse is returned by GET .../belief.
 	BeliefResponse struct {
@@ -159,8 +462,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "recoverd_episodes_started_total %d\n", s.started.Load())
 	fmt.Fprintf(w, "recoverd_episodes_terminated_total %d\n", s.terminated.Load())
+	fmt.Fprintf(w, "recoverd_episodes_evicted_total %d\n", s.evicted.Load())
+	fmt.Fprintf(w, "recoverd_episodes_resumed_total %d\n", s.restored.Resumed)
 	fmt.Fprintf(w, "recoverd_decisions_total %d\n", s.decisions.Load())
 	fmt.Fprintf(w, "recoverd_observations_total %d\n", s.observed.Load())
+	fmt.Fprintf(w, "recoverd_deduped_starts_total %d\n", s.dedupedStarts.Load())
+	fmt.Fprintf(w, "recoverd_deduped_observations_total %d\n", s.dedupedObs.Load())
+	fmt.Fprintf(w, "recoverd_panics_total %d\n", s.panics.Load())
+	fmt.Fprintf(w, "recoverd_checkpoint_errors_total %d\n", s.checkpointErrors.Load())
 	fmt.Fprintf(w, "recoverd_episodes_open %d\n", s.OpenEpisodes())
 }
 
@@ -183,10 +492,28 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleStart(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	var req StartRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode start request: %w", err))
+			return
+		}
+	}
+
 	s.mu.Lock()
+	if req.ClientKey != "" {
+		if id, ok := s.byKey[req.ClientKey]; ok {
+			s.mu.Unlock()
+			s.dedupedStarts.Add(1)
+			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: id})
+			return
+		}
+	}
 	if len(s.episodes) >= s.cfg.MaxEpisodes {
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, fmt.Errorf("episode cap %d reached", s.cfg.MaxEpisodes))
 		return
 	}
@@ -203,10 +530,23 @@ func (s *Server) handleStart(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("reset: %w", err))
 		return
 	}
+	ep := &episode{id: id, ctrl: ctrl, clientKey: req.ClientKey, lastActive: s.cfg.now()}
+
 	s.mu.Lock()
-	s.episodes[id] = &episode{ctrl: ctrl}
+	if req.ClientKey != "" {
+		// A concurrent duplicate may have won the race while the factory ran.
+		if existing, ok := s.byKey[req.ClientKey]; ok {
+			s.mu.Unlock()
+			s.dedupedStarts.Add(1)
+			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: existing})
+			return
+		}
+		s.byKey[req.ClientKey] = id
+	}
+	s.episodes[id] = ep
 	s.mu.Unlock()
 	s.started.Add(1)
+	s.checkpoint(ep)
 	writeJSON(w, http.StatusCreated, StartResponse{EpisodeID: id})
 }
 
@@ -226,30 +566,109 @@ func (s *Server) episode(w http.ResponseWriter, r *http.Request) (uint64, *episo
 	return id, ep, true
 }
 
-func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
-	id, ep, ok := s.episode(w, r)
-	if !ok {
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad episode id: %w", err))
+		return
+	}
+	s.mu.Lock()
+	ep := s.episodes[id]
+	_, dead := s.tombstones[id]
+	s.mu.Unlock()
+	if ep == nil {
+		if dead {
+			writeJSON(w, http.StatusOK, StatusResponse{EpisodeID: id, Open: false})
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("episode %d not found", id))
 		return
 	}
 	ep.mu.Lock()
-	d, err := ep.ctrl.Decide()
+	steps := ep.steps
 	ep.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatusResponse{EpisodeID: id, Steps: steps, Open: true})
+}
+
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad episode id: %w", err))
 		return
 	}
-	s.decisions.Add(1)
+	s.mu.Lock()
+	ep := s.episodes[id]
+	tb := s.tombstones[id]
+	s.mu.Unlock()
+	if ep == nil {
+		if tb != nil {
+			// The terminal decision was already computed; the client's copy
+			// was lost in transit. Re-serve it.
+			writeJSON(w, http.StatusOK, tb.final)
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("episode %d not found", id))
+		return
+	}
+
+	ep.mu.Lock()
+	if ep.lastDecision != nil {
+		resp := *ep.lastDecision
+		ep.lastActive = s.cfg.now()
+		ep.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	d, derr := ep.ctrl.Decide()
+	if derr != nil {
+		ep.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, derr)
+		return
+	}
 	resp := DecisionResponse{Action: d.Action, Terminate: d.Terminate, Value: d.Value}
 	if !d.Terminate || d.Action >= 0 {
 		resp.ActionName = s.cfg.Model.M.ActionName(d.Action)
 	}
+	ep.lastDecision = &resp
+	ep.lastActive = s.cfg.now()
+	ep.mu.Unlock()
+	s.decisions.Add(1)
+
 	if d.Terminate {
 		s.terminated.Add(1)
 		s.mu.Lock()
 		delete(s.episodes, id)
+		if ep.clientKey != "" {
+			delete(s.byKey, ep.clientKey)
+		}
+		s.tombstones[id] = &tombstone{final: resp, at: s.cfg.now()}
+		s.trimTombstonesLocked()
 		s.mu.Unlock()
+		if s.cfg.Checkpointer != nil {
+			if err := s.cfg.Checkpointer.Delete(id); err != nil {
+				s.checkpointErrors.Add(1)
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// trimTombstonesLocked evicts the oldest tombstones past the cap. Caller
+// holds s.mu.
+func (s *Server) trimTombstonesLocked() {
+	for len(s.tombstones) > maxTombstones {
+		var (
+			oldestID uint64
+			oldestAt time.Time
+			first    = true
+		)
+		for id, tb := range s.tombstones {
+			if first || tb.at.Before(oldestAt) {
+				oldestID, oldestAt, first = id, tb.at, false
+			}
+		}
+		delete(s.tombstones, oldestID)
+	}
 }
 
 func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
@@ -258,7 +677,13 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ObservationRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("observation body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode observation: %w", err))
 		return
 	}
@@ -279,10 +704,28 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 		}
 		obs = o
 	}
+
 	ep.mu.Lock()
-	err := ep.ctrl.Observe(action, obs)
-	ep.mu.Unlock()
-	if err != nil {
+	if req.StepIndex != nil {
+		switch {
+		case *req.StepIndex < ep.steps:
+			// Retransmit of an already-applied observation: acknowledge
+			// without applying it twice.
+			ep.lastActive = s.cfg.now()
+			ep.mu.Unlock()
+			s.dedupedObs.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case *req.StepIndex > ep.steps:
+			have := ep.steps
+			ep.mu.Unlock()
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("observation step %d out of order (episode has %d)", *req.StepIndex, have))
+			return
+		}
+	}
+	if err := ep.ctrl.Observe(action, obs); err != nil {
+		ep.mu.Unlock()
 		status := http.StatusInternalServerError
 		if errors.Is(err, pomdp.ErrImpossibleObservation) {
 			status = http.StatusUnprocessableEntity
@@ -290,7 +733,15 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	ep.steps++
+	ep.history = append(ep.history, Step{Action: action, Observation: obs})
+	ep.lastDecision = nil
+	ep.lastActive = s.cfg.now()
+	st := ep.snapshotLocked()
+	ep.mu.Unlock()
+
 	s.observed.Add(1)
+	s.checkpointState(st)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -306,14 +757,56 @@ func (s *Server) handleBelief(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id, _, ok := s.episode(w, r)
+	id, ep, ok := s.episode(w, r)
 	if !ok {
 		return
 	}
 	s.mu.Lock()
 	delete(s.episodes, id)
+	if ep.clientKey != "" {
+		delete(s.byKey, ep.clientKey)
+	}
 	s.mu.Unlock()
+	if s.cfg.Checkpointer != nil {
+		if err := s.cfg.Checkpointer.Delete(id); err != nil {
+			s.checkpointErrors.Add(1)
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// snapshotLocked captures the episode's serializable state. Caller holds
+// ep.mu.
+func (ep *episode) snapshotLocked() EpisodeState {
+	return EpisodeState{
+		EpisodeID:  ep.id,
+		Controller: ep.ctrl.Name(),
+		ClientKey:  ep.clientKey,
+		Steps:      ep.steps,
+		Belief:     ep.ctrl.Belief(),
+		History:    append([]Step(nil), ep.history...),
+	}
+}
+
+// checkpoint snapshots ep and persists it (best-effort; failures are
+// counted, not fatal to the request).
+func (s *Server) checkpoint(ep *episode) {
+	if s.cfg.Checkpointer == nil {
+		return
+	}
+	ep.mu.Lock()
+	st := ep.snapshotLocked()
+	ep.mu.Unlock()
+	s.checkpointState(st)
+}
+
+func (s *Server) checkpointState(st EpisodeState) {
+	if s.cfg.Checkpointer == nil {
+		return
+	}
+	if err := s.cfg.Checkpointer.Save(st); err != nil {
+		s.checkpointErrors.Add(1)
+	}
 }
 
 func (s *Server) lookupAction(name string) (int, error) {
@@ -332,6 +825,14 @@ func (s *Server) lookupObservation(name string) (int, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown observation %q", name)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -201,8 +201,26 @@ type CampaignResult struct {
 	Name string
 	// Episodes and Recovered count injections and successful recoveries.
 	Episodes, Recovered int
+	// Abandoned counts episodes that failed with an error instead of
+	// terminating (only non-zero with CampaignOptions.ContinueOnError).
+	Abandoned int
 	// Per-fault metric accumulators.
 	Cost, RecoveryTime, ResidualTime, AlgoTimeMs, Actions, MonitorCalls stats.Accumulator
+}
+
+// CampaignOptions tunes RunCampaignOpts.
+type CampaignOptions struct {
+	// ContinueOnError records a failed episode as Abandoned and moves on to
+	// the next injection instead of aborting the campaign — the right mode
+	// when the controller sits behind an unreliable transport and an
+	// episode-level failure is itself a measurement.
+	ContinueOnError bool
+	// EpisodeFactory, when set, supplies a fresh controller per episode
+	// (e.g. a new remote episode from a client); ctrl passed to the
+	// campaign is ignored. The second return value, when non-nil, is called
+	// after the episode with its error (nil on success) — a cleanup hook
+	// for abandoning remote episodes.
+	EpisodeFactory func(episode int) (controller.Controller, func(error), error)
 }
 
 // RunCampaign injects episodes faults (uniformly over faultStates) and
@@ -210,18 +228,53 @@ type CampaignResult struct {
 // given stream per episode index, so campaigns are reproducible and
 // insensitive to controller internals.
 func (r *Runner) RunCampaign(ctrl controller.Controller, initial pomdp.Belief, faultStates []int, episodes int, stream *rng.Stream) (CampaignResult, error) {
-	out := CampaignResult{Name: ctrl.Name()}
+	return r.RunCampaignOpts(ctrl, initial, faultStates, episodes, stream, CampaignOptions{})
+}
+
+// RunCampaignOpts is RunCampaign with per-episode controller factories and
+// error tolerance (see CampaignOptions).
+func (r *Runner) RunCampaignOpts(ctrl controller.Controller, initial pomdp.Belief, faultStates []int, episodes int, stream *rng.Stream, opts CampaignOptions) (CampaignResult, error) {
+	var out CampaignResult
+	if ctrl != nil {
+		out.Name = ctrl.Name()
+	}
 	if len(faultStates) == 0 {
 		return out, fmt.Errorf("sim: no fault states to inject")
 	}
 	if episodes < 1 {
 		return out, fmt.Errorf("sim: non-positive episode count %d", episodes)
 	}
+	if ctrl == nil && opts.EpisodeFactory == nil {
+		return out, fmt.Errorf("sim: nil controller and no episode factory")
+	}
 	for i := 0; i < episodes; i++ {
 		ep := stream.SplitN("episode", i)
 		fault := faultStates[ep.IntN(len(faultStates))]
-		res, err := r.RunEpisode(ctrl, initial, fault, ep)
+		epCtrl := ctrl
+		var done func(error)
+		if opts.EpisodeFactory != nil {
+			c, cleanup, err := opts.EpisodeFactory(i)
+			if err != nil {
+				if opts.ContinueOnError {
+					out.Abandoned++
+					continue
+				}
+				return out, fmt.Errorf("sim: episode %d factory: %w", i, err)
+			}
+			epCtrl, done = c, cleanup
+			if out.Name == "" {
+				out.Name = epCtrl.Name()
+			}
+		}
+		res, err := r.RunEpisode(epCtrl, initial, fault, ep)
+		if done != nil {
+			done(err)
+		}
 		if err != nil {
+			if opts.ContinueOnError {
+				out.Abandoned++
+				continue
+			}
 			return out, fmt.Errorf("sim: episode %d (fault %s): %w",
 				i, r.rm.POMDP.M.StateName(fault), err)
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"bpomdp/internal/controller"
@@ -261,4 +262,62 @@ func TestRateRewardConsistency(t *testing.T) {
 		}
 	}
 	_ = linalg.Vector{}
+}
+
+// TestCampaignContinueOnError: with ContinueOnError a failing episode
+// factory costs one Abandoned entry, not the whole campaign.
+func TestCampaignContinueOnError(t *testing.T) {
+	rm, ts := twoServerRecovery(t)
+	runner, err := NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, initial := preparedBounded(t, rm)
+	faults := []int{ts.StateFaultA, ts.StateFaultB}
+
+	var cleanupErrs []error
+	res, err := runner.RunCampaignOpts(nil, initial, faults, 6, rng.New(5), CampaignOptions{
+		ContinueOnError: true,
+		EpisodeFactory: func(i int) (controller.Controller, func(error), error) {
+			if i%3 == 2 {
+				return nil, nil, errors.New("flaky factory")
+			}
+			return ctrl, func(err error) { cleanupErrs = append(cleanupErrs, err) }, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned != 2 {
+		t.Errorf("abandoned = %d, want 2 (episodes 2 and 5)", res.Abandoned)
+	}
+	if res.Episodes != 4 || res.Recovered != 4 {
+		t.Errorf("campaign %d/%d recovered, want 4/4", res.Recovered, res.Episodes)
+	}
+	if len(cleanupErrs) != 4 {
+		t.Errorf("cleanup called %d times, want once per run episode", len(cleanupErrs))
+	}
+	for i, ce := range cleanupErrs {
+		if ce != nil {
+			t.Errorf("cleanup %d got error %v for a successful episode", i, ce)
+		}
+	}
+
+	// Without ContinueOnError the same factory aborts the campaign.
+	_, err = runner.RunCampaignOpts(nil, initial, faults, 6, rng.New(5), CampaignOptions{
+		EpisodeFactory: func(i int) (controller.Controller, func(error), error) {
+			if i%3 == 2 {
+				return nil, nil, errors.New("flaky factory")
+			}
+			return ctrl, nil, nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "flaky factory") {
+		t.Errorf("strict campaign error = %v", err)
+	}
+
+	// Nil controller with no factory is rejected up front.
+	if _, err := runner.RunCampaignOpts(nil, initial, faults, 1, rng.New(5), CampaignOptions{}); err == nil {
+		t.Error("nil controller with no factory accepted")
+	}
 }
