@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short check vet fmt table1 fig5bounds
+.PHONY: build test test-short test-campaign check vet fmt bench table1 fig5bounds
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,22 @@ vet:
 fmt:
 	gofmtout=$$(gofmt -l .); if [ -n "$$gofmtout" ]; then echo "gofmt needed:"; echo "$$gofmtout"; exit 1; fi
 
+# Campaign-engine equality, determinism, and partial-result tests under the
+# race detector — the fast gate for changes to internal/sim.
+test-campaign:
+	$(GO) test -race -run 'Unified|Parallel|Campaign|Sequential' ./internal/sim/
+
 # The full gate: vet plus the complete test suite (chaos campaign included)
 # under the race detector.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Measure the campaign engine's hot paths on EMN and write the results as
+# machine-readable JSON (schema bpomdp.bench/v1; see DESIGN.md).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_campaign.json
+	@echo "wrote BENCH_campaign.json"
 
 table1:
 	$(GO) run ./cmd/emn-faultinject -n 10000

@@ -1,0 +1,309 @@
+// Command bench measures the hot paths of the unified campaign engine on
+// the EMN model and writes the results as machine-readable JSON
+// (BENCH_campaign.json by default) so CI and benchstat-style tooling can
+// track regressions without scraping `go test -bench` text output.
+//
+// Reported benchmarks:
+//
+//   - campaign_sequential / campaign_parallel — full fault-injection
+//     campaigns through sim.RunCampaignOpts with the paper's bounded
+//     controller (episodes/sec, ns/episode, allocs/episode)
+//   - belief_update — pomdp.UpdateInto with reused buffers, the kernel the
+//     controller runs on every observation (ns/op, allocs/op, B/op)
+//   - belief_update_alloc — the allocating pomdp.Update path, for comparison
+//   - gs_sweep — one Gauss-Seidel/SOR sweep of the RA-Bound iteration
+//     (linalg.SORKernel.Sweep on the Eq. 5 uniform chain)
+//   - ra_solve — the full RA-Bound fixed-point solve (bounds.RA)
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_campaign.json -mintime 1s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpomdp/internal/arch"
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/emn"
+	"bpomdp/internal/linalg"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/sim"
+)
+
+// Report is the BENCH_campaign.json document ("bpomdp.bench/v1").
+type Report struct {
+	Schema    string           `json:"schema"`
+	Timestamp string           `json:"timestamp"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	NumCPU    int              `json:"num_cpu"`
+	Model     ModelInfo        `json:"model"`
+	Bench     map[string]Entry `json:"benchmarks"`
+}
+
+// ModelInfo identifies the benchmarked model.
+type ModelInfo struct {
+	Name         string `json:"name"`
+	States       int    `json:"states"`
+	Actions      int    `json:"actions"`
+	Observations int    `json:"observations"`
+}
+
+// Entry is one benchmark's result. Campaign entries additionally carry
+// per-episode throughput figures.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	// Campaign-only fields.
+	Workers        int     `json:"workers,omitempty"`
+	Episodes       int     `json:"episodes_per_campaign,omitempty"`
+	EpisodesPerSec float64 `json:"episodes_per_sec,omitempty"`
+	NsPerEpisode   float64 `json:"ns_per_episode,omitempty"`
+	AllocsPerEp    int64   `json:"allocs_per_episode,omitempty"`
+}
+
+func entryOf(r testing.BenchmarkResult) Entry {
+	return Entry{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_campaign.json", "output JSON path (- for stdout)")
+	mintime := flag.Duration("mintime", time.Second, "minimum measuring time per benchmark")
+	episodes := flag.Int("episodes", 64, "episodes per campaign iteration")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "workers for the parallel campaign benchmark")
+	flag.Parse()
+
+	if err := flag.Set("test.benchtime", mintime.String()); err != nil {
+		fatal(err)
+	}
+	rep, err := run(*episodes, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, _ = os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Bench))
+	for _, name := range []string{"campaign_sequential", "campaign_parallel", "belief_update", "gs_sweep", "ra_solve"} {
+		e, ok := rep.Bench[name]
+		if !ok {
+			continue
+		}
+		if e.EpisodesPerSec > 0 {
+			fmt.Printf("  %-22s %10.1f episodes/sec  %8d allocs/episode\n", name, e.EpisodesPerSec, e.AllocsPerEp)
+		} else {
+			fmt.Printf("  %-22s %10.0f ns/op  %8d allocs/op  %8d B/op\n", name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// run builds the EMN model once and measures every benchmark against it.
+func run(episodes, workers int) (*Report, error) {
+	compiled, err := emn.Build(emn.Config{})
+	if err != nil {
+		return nil, err
+	}
+	base := compiled.Recovery.POMDP
+	rep := &Report{
+		Schema:    "bpomdp.bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Model: ModelInfo{
+			Name:         "emn",
+			States:       base.NumStates(),
+			Actions:      base.NumActions(),
+			Observations: base.NumObservations(),
+		},
+		Bench: map[string]Entry{},
+	}
+
+	prep, err := core.Prepare(compiled.Recovery, core.PrepareOptions{
+		OperatorResponseTime: emn.OperatorResponseTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := prep.Bootstrap(10, controller.VariantAverage, 1, rng.New(3)); err != nil {
+		return nil, err
+	}
+
+	if err := benchBeliefUpdate(rep, prep); err != nil {
+		return nil, err
+	}
+	if err := benchSolver(rep, compiled); err != nil {
+		return nil, err
+	}
+	if err := benchCampaigns(rep, compiled, prep, episodes, workers); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// benchBeliefUpdate measures the Bayes update (Eq. 4) with reused buffers
+// (the controller's steady-state path) and with per-call allocation.
+func benchBeliefUpdate(rep *Report, prep *core.Prepared) error {
+	sc := pomdp.NewScratch(prep.Model)
+	pi, err := prep.InitialBelief()
+	if err != nil {
+		return err
+	}
+	obsAction := prep.Source.MonitorAction
+	succs := prep.Model.Successors(sc, pi, obsAction)
+	if len(succs) == 0 {
+		return fmt.Errorf("no successors for the monitor action")
+	}
+	o := succs[0].Obs
+
+	dst := make(pomdp.Belief, len(pi))
+	rep.Bench["belief_update"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Model.UpdateInto(sc, dst, pi, obsAction, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Bench["belief_update_alloc"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Model.Update(sc, pi, obsAction, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return nil
+}
+
+// benchSolver measures one SOR sweep of the RA-Bound iteration matrix and
+// the complete Eq. 5 fixed-point solve.
+func benchSolver(rep *Report, compiled *arch.Compiled) error {
+	model, _, err := pomdp.WithTermination(compiled.Recovery.POMDP, pomdp.TerminationConfig{
+		NullStates:           compiled.Recovery.NullStates,
+		OperatorResponseTime: emn.OperatorResponseTime,
+		RateReward:           compiled.Recovery.RateRewards,
+	})
+	if err != nil {
+		return err
+	}
+	chain, reward, err := model.M.UniformChain()
+	if err != nil {
+		return err
+	}
+	kernel := linalg.NewSORKernel(chain)
+	v := make(linalg.Vector, chain.Rows())
+	rep.Bench["gs_sweep"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kernel.Sweep(v, reward, 1, 1)
+		}
+	}))
+	rep.Bench["ra_solve"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bounds.RA(model, bounds.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return nil
+}
+
+// benchCampaigns measures full fault-injection campaigns through the unified
+// engine, sequentially and with the requested worker count. Controllers are
+// pooled outside the timed region (they are reusable across campaigns: every
+// episode begins with Reset), so the numbers isolate the engine and episode
+// loop.
+func benchCampaigns(rep *Report, compiled *arch.Compiled, prep *core.Prepared, episodes, workers int) error {
+	runner, err := sim.NewRunner(compiled.Recovery, 20000)
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pool := make([]controller.Controller, workers)
+	initial, err := prep.InitialBelief()
+	if err != nil {
+		return err
+	}
+	for i := range pool {
+		if pool[i], err = prep.NewController(core.ControllerConfig{Depth: 1}); err != nil {
+			return err
+		}
+	}
+	faults := compiled.ZombieStates
+
+	campaign := func(b *testing.B, w int) {
+		b.Helper()
+		b.ReportAllocs()
+		var next atomic.Uint64
+		factory := func() (controller.Controller, pomdp.Belief, error) {
+			idx := int(next.Add(1)-1) % len(pool)
+			return pool[idx], initial, nil
+		}
+		for i := 0; i < b.N; i++ {
+			res, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(uint64(i)), sim.CampaignOptions{
+				Workers:       w,
+				WorkerFactory: factory,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Episodes != episodes {
+				b.Fatalf("campaign completed %d/%d episodes", res.Episodes, episodes)
+			}
+		}
+	}
+	finish := func(r testing.BenchmarkResult, w int) Entry {
+		e := entryOf(r)
+		e.Workers = w
+		e.Episodes = episodes
+		e.NsPerEpisode = e.NsPerOp / float64(episodes)
+		e.EpisodesPerSec = 1e9 / e.NsPerEpisode
+		e.AllocsPerEp = e.AllocsPerOp / int64(episodes)
+		return e
+	}
+	rep.Bench["campaign_sequential"] = finish(testing.Benchmark(func(b *testing.B) { campaign(b, 1) }), 1)
+	if workers > 1 {
+		rep.Bench["campaign_parallel"] = finish(testing.Benchmark(func(b *testing.B) { campaign(b, workers) }), workers)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"bpomdp/internal/linalg"
 	"bpomdp/internal/pomdp"
@@ -33,12 +34,16 @@ var ErrEmptySet = errors.New("bounds: empty hyperplane set")
 // pruning, and an optional capacity with least-used eviction (the finite-
 // storage strategy sketched in Section 4.3 of the paper).
 //
-// A Set is not safe for concurrent mutation; controllers own their set.
+// A Set is not safe for concurrent mutation (Add vs anything else), but
+// Value/ValueArg are safe to call from several goroutines at once on a set
+// nobody is mutating — the usage counters behind least-used eviction are
+// updated atomically — so read-only controllers may share one set (e.g. a
+// pool of campaign workers evaluating the same bootstrapped bound).
 type Set struct {
 	planes []linalg.Vector
-	uses   []uint64
-	maxLen int // 0 = unlimited
-	n      int // state count
+	uses   []uint64 // accessed atomically in ValueArg; plainly under mutation
+	maxLen int      // 0 = unlimited
+	n      int      // state count
 }
 
 // NewSet creates a hyperplane set over an n-state belief space, seeded with
@@ -91,7 +96,7 @@ func (s *Set) ValueArg(pi pomdp.Belief) (float64, int) {
 		}
 	}
 	if arg >= 0 {
-		s.uses[arg]++
+		atomic.AddUint64(&s.uses[arg], 1)
 	}
 	return best, arg
 }

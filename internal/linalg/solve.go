@@ -89,10 +89,8 @@ func SolveFixedPoint(p *CSR, beta float64, r Vector, opts FixedPointOptions) (Ve
 		return nil, FixedPointResult{}, fmt.Errorf("linalg: SOR omega=%v outside (0,2)", o.Omega)
 	}
 
-	diag := NewVector(n)
-	for s := 0; s < n; s++ {
-		diag[s] = p.At(s, s)
-	}
+	kernel := NewSORKernel(p)
+	diag := kernel.Diag()
 	for s := 0; s < n; s++ {
 		if 1-beta*diag[s] < 1e-14 && math.Abs(r[s]) > 1e-14 {
 			return nil, FixedPointResult{}, fmt.Errorf(
@@ -104,30 +102,7 @@ func SolveFixedPoint(p *CSR, beta float64, r Vector, opts FixedPointOptions) (Ve
 	v := NewVector(n)
 	res := FixedPointResult{}
 	for it := 0; it < o.MaxIter; it++ {
-		var maxDelta float64
-		for s := 0; s < n; s++ {
-			denom := 1 - beta*diag[s]
-			if denom < 1e-14 {
-				// Absorbing with zero reward: value pinned to 0.
-				v[s] = 0
-				continue
-			}
-			var acc float64
-			row := s
-			for i := p.rowPtr[row]; i < p.rowPtr[row+1]; i++ {
-				c := p.colIdx[i]
-				if c == s {
-					continue
-				}
-				acc += p.vals[i] * v[c]
-			}
-			gs := (r[s] + beta*acc) / denom
-			next := (1-o.Omega)*v[s] + o.Omega*gs
-			if d := math.Abs(next - v[s]); d > maxDelta {
-				maxDelta = d
-			}
-			v[s] = next
-		}
+		maxDelta := kernel.Sweep(v, r, beta, o.Omega)
 		res.Iterations = it + 1
 		res.Residual = maxDelta
 		if maxDelta < o.Tol {

@@ -137,6 +137,16 @@ func (m *CSR) Row(r int, fn func(col int, val float64)) {
 	}
 }
 
+// RowSlice returns row r's stored entries as parallel column-index and value
+// slices, sorted by column. The slices alias the matrix's internal storage
+// and must not be modified; this is the zero-allocation accessor the hot
+// loops (episode sampling, belief updates) iterate instead of the
+// closure-based Row.
+func (m *CSR) RowSlice(r int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
 // RowSums returns the vector of per-row sums, useful for validating that a
 // stochastic matrix's rows sum to one.
 func (m *CSR) RowSums() Vector {

@@ -104,26 +104,42 @@ func (p *POMDP) Gamma(sc *Scratch, pi Belief, a int) linalg.Vector {
 // observation o was received. It returns ErrImpossibleObservation when
 // γ^{π,a}(o) = 0.
 func (p *POMDP) Update(sc *Scratch, pi Belief, a, o int) (Belief, error) {
+	return p.UpdateInto(sc, nil, pi, a, o)
+}
+
+// UpdateInto is Update with a caller-supplied destination buffer: the next
+// belief is written into dst and returned, so a filter that only needs the
+// latest belief can ping-pong two buffers and perform zero allocations per
+// step. dst may alias pi (the prior is consumed before dst is written); a
+// nil dst allocates a fresh belief, which is exactly Update.
+func (p *POMDP) UpdateInto(sc *Scratch, dst Belief, pi Belief, a, o int) (Belief, error) {
 	if a < 0 || a >= p.NumActions() {
 		return nil, fmt.Errorf("pomdp: action %d out of range [0,%d)", a, p.NumActions())
 	}
 	if o < 0 || o >= p.NumObservations() {
 		return nil, fmt.Errorf("pomdp: observation %d out of range [0,%d)", o, p.NumObservations())
 	}
+	n := p.NumStates()
+	if dst == nil {
+		dst = make(Belief, n)
+	} else if len(dst) != n {
+		return nil, fmt.Errorf("pomdp: destination belief length %d, want %d", len(dst), n)
+	}
 	p.Predict(sc.pred, pi, a)
-	next := make(Belief, p.NumStates())
+	col := sc.obsColumns(p, a)[o]
+	linalg.Vector(dst).Fill(0)
 	var norm float64
-	for s := range next {
-		v := sc.pred[s] * p.Obs[a].At(s, o)
-		next[s] = v
+	for k, s := range col.states {
+		v := sc.pred[s] * col.vals[k]
+		dst[s] = v
 		norm += v
 	}
 	if norm <= 0 {
 		return nil, fmt.Errorf("pomdp: action %s observation %s: %w",
 			p.M.ActionName(a), p.ObsName(o), ErrImpossibleObservation)
 	}
-	linalg.Vector(next).Scale(1 / norm)
-	return next, nil
+	linalg.Vector(dst).Scale(1 / norm)
+	return dst, nil
 }
 
 // Successor couples one observation's probability with the belief that

@@ -104,6 +104,10 @@ type Server struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
+	// restored is written by restore() during New and read by Restored() and
+	// /metrics; it shares s.mu so those reads are race-clean even when a
+	// server is scraped while still restoring (e.g. a future background
+	// restore) or while tests poke at the report.
 	restored RestoreReport
 
 	started          atomic.Uint64
@@ -228,6 +232,8 @@ func New(cfg Config) (*Server, error) {
 // history through a fresh controller from the factory.
 func (s *Server) restore() {
 	states, err := s.cfg.Checkpointer.LoadAll()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.restored.LoadErr = err
 	for _, st := range states {
 		if st.EpisodeID > s.nextID {
@@ -282,8 +288,16 @@ func (s *Server) replay(st EpisodeState) (*episode, error) {
 	}, nil
 }
 
-// Restored reports what New recovered from the checkpointer.
-func (s *Server) Restored() RestoreReport { return s.restored }
+// Restored reports what New recovered from the checkpointer. The returned
+// report is a snapshot: its Failed slice is copied, so callers may inspect it
+// without holding any server lock.
+func (s *Server) Restored() RestoreReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.restored
+	rep.Failed = append([]RestoreFailure(nil), s.restored.Failed...)
+	return rep
+}
 
 // ServeHTTP implements http.Handler. Handler panics are converted into 500
 // responses and counted rather than crashing the daemon.
@@ -459,11 +473,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resumed := s.restored.Resumed
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "recoverd_episodes_started_total %d\n", s.started.Load())
 	fmt.Fprintf(w, "recoverd_episodes_terminated_total %d\n", s.terminated.Load())
 	fmt.Fprintf(w, "recoverd_episodes_evicted_total %d\n", s.evicted.Load())
-	fmt.Fprintf(w, "recoverd_episodes_resumed_total %d\n", s.restored.Resumed)
+	fmt.Fprintf(w, "recoverd_episodes_resumed_total %d\n", resumed)
 	fmt.Fprintf(w, "recoverd_decisions_total %d\n", s.decisions.Load())
 	fmt.Fprintf(w, "recoverd_observations_total %d\n", s.observed.Load())
 	fmt.Fprintf(w, "recoverd_deduped_starts_total %d\n", s.dedupedStarts.Load())

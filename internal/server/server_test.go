@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"bpomdp/internal/controller"
@@ -331,4 +333,43 @@ func TestFactoryFailureSurfaces(t *testing.T) {
 	if srv.OpenEpisodes() != 0 {
 		t.Errorf("failed episode left open: %d", srv.OpenEpisodes())
 	}
+}
+
+// TestMetricsConcurrentWithTraffic scrapes /metrics and calls Restored while
+// episodes are being driven concurrently — the regression test (run under
+// -race) for the unsynchronized s.restored read /metrics used to perform.
+func TestMetricsConcurrentWithTraffic(t *testing.T) {
+	srv, _ := newTestServer(t)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if g%2 == 0 {
+					resp, err := http.Get(hs.URL + "/metrics")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					_ = srv.Restored()
+					continue
+				}
+				body := strings.NewReader(fmt.Sprintf(`{"client_key":"g%d-i%d"}`, g, i))
+				resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
 }

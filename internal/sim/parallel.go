@@ -1,99 +1,34 @@
 package sim
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
-	"time"
 
-	"bpomdp/internal/controller"
-	"bpomdp/internal/pomdp"
 	"bpomdp/internal/rng"
 )
 
-// ControllerFactory builds an independent controller (and its initial
-// belief) for one worker. Controllers are stateful and not safe for
-// concurrent use, so the parallel runner gives each worker its own.
-type ControllerFactory func() (controller.Controller, pomdp.Belief, error)
-
 // RunCampaignParallel runs a fault-injection campaign across workers
-// goroutines (0 means GOMAXPROCS). Episode i uses the same derived RNG
-// stream as the sequential runner and is assigned to worker i mod workers,
-// so for a fixed worker count the campaign is exactly reproducible.
+// goroutines (0 means GOMAXPROCS). It is a thin wrapper over
+// RunCampaignOpts with CampaignOptions.Workers and WorkerFactory set — the
+// unified campaign engine — kept for callers that predate the merge.
 //
-// Adaptive controllers (the bounded controller with online bound
-// improvement) hold per-worker state here, so their later-episode behavior
-// can differ slightly from a sequential run sharing one controller; the
-// aggregate statistics are merged exactly (stats.Accumulator.Merge).
+// Episode i uses the same derived RNG stream as a sequential campaign and
+// is assigned to worker i mod workers, so for a fixed worker count the
+// campaign is exactly reproducible. Adaptive controllers (the bounded
+// controller with online bound improvement) hold per-worker state here, so
+// their later-episode behavior can differ slightly from a sequential run
+// sharing one controller; the aggregate statistics are merged exactly
+// (stats.Accumulator.Merge).
+//
+// Unlike its pre-unification incarnation, a failing worker no longer
+// discards the other workers' completed episodes: the returned
+// CampaignResult carries every completed episode and the error joins every
+// worker's failure (errors.Join).
 func (r *Runner) RunCampaignParallel(factory ControllerFactory, faultStates []int, episodes, workers int, stream *rng.Stream) (CampaignResult, error) {
-	if len(faultStates) == 0 {
-		return CampaignResult{}, fmt.Errorf("sim: no fault states to inject")
-	}
-	if episodes < 1 {
-		return CampaignResult{}, fmt.Errorf("sim: non-positive episode count %d", episodes)
-	}
-	if factory == nil {
-		return CampaignResult{}, fmt.Errorf("sim: nil controller factory")
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > episodes {
-		workers = episodes
-	}
-
-	results := make([]CampaignResult, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctrl, initial, err := factory()
-			if err != nil {
-				errs[w] = fmt.Errorf("sim: worker %d factory: %w", w, err)
-				return
-			}
-			out := &results[w]
-			out.Name = ctrl.Name()
-			for i := w; i < episodes; i += workers {
-				ep := stream.SplitN("episode", i)
-				fault := faultStates[ep.IntN(len(faultStates))]
-				res, err := r.RunEpisode(ctrl, initial, fault, ep)
-				if err != nil {
-					errs[w] = fmt.Errorf("sim: worker %d episode %d: %w", w, i, err)
-					return
-				}
-				out.Episodes++
-				if res.Recovered {
-					out.Recovered++
-				}
-				out.Cost.Add(res.Cost)
-				out.RecoveryTime.Add(res.RecoveryTime)
-				out.ResidualTime.Add(res.ResidualTime)
-				out.AlgoTimeMs.Add(float64(res.AlgoTime) / float64(time.Millisecond))
-				out.Actions.Add(float64(res.Actions))
-				out.MonitorCalls.Add(float64(res.MonitorCalls))
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return CampaignResult{}, err
-		}
-	}
-
-	merged := results[0]
-	for w := 1; w < workers; w++ {
-		merged.Episodes += results[w].Episodes
-		merged.Recovered += results[w].Recovered
-		merged.Cost.Merge(&results[w].Cost)
-		merged.RecoveryTime.Merge(&results[w].RecoveryTime)
-		merged.ResidualTime.Merge(&results[w].ResidualTime)
-		merged.AlgoTimeMs.Merge(&results[w].AlgoTimeMs)
-		merged.Actions.Merge(&results[w].Actions)
-		merged.MonitorCalls.Merge(&results[w].MonitorCalls)
-	}
-	return merged, nil
+	return r.RunCampaignOpts(nil, nil, faultStates, episodes, stream, CampaignOptions{
+		Workers:       workers,
+		WorkerFactory: factory,
+	})
 }

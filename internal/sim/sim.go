@@ -22,7 +22,6 @@ import (
 	"bpomdp/internal/core"
 	"bpomdp/internal/pomdp"
 	"bpomdp/internal/rng"
-	"bpomdp/internal/stats"
 )
 
 // ErrTimedOut is wrapped into episode errors when a controller fails to
@@ -172,10 +171,44 @@ func (r *Runner) step(ctrl controller.Controller, res *EpisodeResult, state, act
 	return next, nil
 }
 
+// sampleSparse draws an index from a sparse weight row (parallel col/val
+// slices), reproducing rng.Stream.Categorical's arithmetic exactly — the
+// total, the single Float64 draw, and the accumulation visit the stored
+// entries in the same order a dense weight vector would visit its non-zero
+// entries — without materializing the dense vector. This keeps the episode
+// loop allocation-free while leaving every sampled trajectory bit-for-bit
+// identical to the dense implementation it replaced.
+func sampleSparse(stream *rng.Stream, cols []int, vals []float64) (int, error) {
+	var total float64
+	for i, w := range vals {
+		if w < 0 {
+			return 0, fmt.Errorf("sim: negative weight %v at index %d", w, cols[i])
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("sim: weights sum to %v", total)
+	}
+	x := stream.Float64() * total
+	var acc float64
+	last := 0
+	for i, w := range vals {
+		if w == 0 {
+			continue
+		}
+		acc += w
+		last = cols[i]
+		if x < acc {
+			return cols[i], nil
+		}
+	}
+	// Floating-point slack: fall back to the last positive-weight index.
+	return last, nil
+}
+
 func (r *Runner) sampleTransition(stream *rng.Stream, s, a int) (int, error) {
-	weights := make([]float64, r.rm.POMDP.NumStates())
-	r.rm.POMDP.M.Trans[a].Row(s, func(c int, v float64) { weights[c] = v })
-	next, err := stream.Categorical(weights)
+	cols, vals := r.rm.POMDP.M.Trans[a].RowSlice(s)
+	next, err := sampleSparse(stream, cols, vals)
 	if err != nil {
 		return 0, fmt.Errorf("sim: transition from %s under %s: %w",
 			r.rm.POMDP.M.StateName(s), r.rm.POMDP.M.ActionName(a), err)
@@ -184,130 +217,11 @@ func (r *Runner) sampleTransition(stream *rng.Stream, s, a int) (int, error) {
 }
 
 func (r *Runner) sampleObservation(stream *rng.Stream, s, a int) (int, error) {
-	weights := make([]float64, r.rm.POMDP.NumObservations())
-	r.rm.POMDP.Obs[a].Row(s, func(o int, v float64) { weights[o] = v })
-	obs, err := stream.Categorical(weights)
+	cols, vals := r.rm.POMDP.Obs[a].RowSlice(s)
+	obs, err := sampleSparse(stream, cols, vals)
 	if err != nil {
 		return 0, fmt.Errorf("sim: observation in %s under %s: %w",
 			r.rm.POMDP.M.StateName(s), r.rm.POMDP.M.ActionName(a), err)
 	}
 	return obs, nil
-}
-
-// CampaignResult aggregates the per-fault averages of a fault-injection
-// campaign — one Table 1 row.
-type CampaignResult struct {
-	// Name labels the controller.
-	Name string
-	// Episodes and Recovered count injections and successful recoveries.
-	Episodes, Recovered int
-	// Abandoned counts episodes that failed with an error instead of
-	// terminating (only non-zero with CampaignOptions.ContinueOnError).
-	Abandoned int
-	// Per-fault metric accumulators.
-	Cost, RecoveryTime, ResidualTime, AlgoTimeMs, Actions, MonitorCalls stats.Accumulator
-}
-
-// CampaignOptions tunes RunCampaignOpts.
-type CampaignOptions struct {
-	// ContinueOnError records a failed episode as Abandoned and moves on to
-	// the next injection instead of aborting the campaign — the right mode
-	// when the controller sits behind an unreliable transport and an
-	// episode-level failure is itself a measurement.
-	ContinueOnError bool
-	// EpisodeFactory, when set, supplies a fresh controller per episode
-	// (e.g. a new remote episode from a client); ctrl passed to the
-	// campaign is ignored. The second return value, when non-nil, is called
-	// after the episode with its error (nil on success) — a cleanup hook
-	// for abandoning remote episodes.
-	EpisodeFactory func(episode int) (controller.Controller, func(error), error)
-}
-
-// RunCampaign injects episodes faults (uniformly over faultStates) and
-// aggregates per-fault metrics. Episode RNG streams are derived from the
-// given stream per episode index, so campaigns are reproducible and
-// insensitive to controller internals.
-func (r *Runner) RunCampaign(ctrl controller.Controller, initial pomdp.Belief, faultStates []int, episodes int, stream *rng.Stream) (CampaignResult, error) {
-	return r.RunCampaignOpts(ctrl, initial, faultStates, episodes, stream, CampaignOptions{})
-}
-
-// RunCampaignOpts is RunCampaign with per-episode controller factories and
-// error tolerance (see CampaignOptions).
-func (r *Runner) RunCampaignOpts(ctrl controller.Controller, initial pomdp.Belief, faultStates []int, episodes int, stream *rng.Stream, opts CampaignOptions) (CampaignResult, error) {
-	var out CampaignResult
-	if ctrl != nil {
-		out.Name = ctrl.Name()
-	}
-	if len(faultStates) == 0 {
-		return out, fmt.Errorf("sim: no fault states to inject")
-	}
-	if episodes < 1 {
-		return out, fmt.Errorf("sim: non-positive episode count %d", episodes)
-	}
-	if ctrl == nil && opts.EpisodeFactory == nil {
-		return out, fmt.Errorf("sim: nil controller and no episode factory")
-	}
-	for i := 0; i < episodes; i++ {
-		ep := stream.SplitN("episode", i)
-		fault := faultStates[ep.IntN(len(faultStates))]
-		epCtrl := ctrl
-		var done func(error)
-		if opts.EpisodeFactory != nil {
-			c, cleanup, err := opts.EpisodeFactory(i)
-			if err != nil {
-				if opts.ContinueOnError {
-					out.Abandoned++
-					continue
-				}
-				return out, fmt.Errorf("sim: episode %d factory: %w", i, err)
-			}
-			epCtrl, done = c, cleanup
-			if out.Name == "" {
-				out.Name = epCtrl.Name()
-			}
-		}
-		res, err := r.RunEpisode(epCtrl, initial, fault, ep)
-		if done != nil {
-			done(err)
-		}
-		if err != nil {
-			if opts.ContinueOnError {
-				out.Abandoned++
-				continue
-			}
-			return out, fmt.Errorf("sim: episode %d (fault %s): %w",
-				i, r.rm.POMDP.M.StateName(fault), err)
-		}
-		out.Episodes++
-		if res.Recovered {
-			out.Recovered++
-		}
-		out.Cost.Add(res.Cost)
-		out.RecoveryTime.Add(res.RecoveryTime)
-		out.ResidualTime.Add(res.ResidualTime)
-		out.AlgoTimeMs.Add(float64(res.AlgoTime) / float64(time.Millisecond))
-		out.Actions.Add(float64(res.Actions))
-		out.MonitorCalls.Add(float64(res.MonitorCalls))
-	}
-	return out, nil
-}
-
-// Row renders the campaign as a Table 1 row: cost, recovery time, residual
-// time, algorithm time, actions, monitor calls (per-fault averages).
-func (c *CampaignResult) Row() []string {
-	return []string{
-		c.Name,
-		fmt.Sprintf("%.2f", c.Cost.Mean()),
-		fmt.Sprintf("%.2f", c.RecoveryTime.Mean()),
-		fmt.Sprintf("%.2f", c.ResidualTime.Mean()),
-		fmt.Sprintf("%.3f", c.AlgoTimeMs.Mean()),
-		fmt.Sprintf("%.3f", c.Actions.Mean()),
-		fmt.Sprintf("%.2f", c.MonitorCalls.Mean()),
-		fmt.Sprintf("%d/%d", c.Recovered, c.Episodes),
-	}
-}
-
-// TableHeaders are the column headers matching Row.
-func TableHeaders() []string {
-	return []string{"Algorithm", "Cost", "RecoveryTime(s)", "ResidualTime(s)", "AlgoTime(ms)", "Actions", "MonitorCalls", "Recovered"}
 }

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// The unified campaign engine's exact-merge claim rests on Accumulator.Merge
+// being equivalent to having folded every sample into one accumulator. These
+// property tests enforce that over random sample sets and random partitions,
+// including the empty/single-sample edges whose handling (the early b.n == 0
+// return) is what keeps min/max correct.
+
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+func checkMergeEquivalence(t *testing.T, samples []float64, splits [][]float64) {
+	t.Helper()
+	var seq Accumulator
+	for _, x := range samples {
+		seq.Add(x)
+	}
+	var merged Accumulator
+	for _, part := range splits {
+		var a Accumulator
+		for _, x := range part {
+			a.Add(x)
+		}
+		merged.Merge(&a)
+	}
+	if merged.N() != seq.N() {
+		t.Fatalf("merged n = %d, sequential %d", merged.N(), seq.N())
+	}
+	if seq.N() == 0 {
+		return
+	}
+	if !approxEq(merged.Mean(), seq.Mean()) {
+		t.Errorf("merged mean %v != sequential %v", merged.Mean(), seq.Mean())
+	}
+	if !approxEq(merged.Variance(), seq.Variance()) {
+		t.Errorf("merged variance %v != sequential %v", merged.Variance(), seq.Variance())
+	}
+	// Extrema must be exact — they are order statistics, not floating sums.
+	if merged.Min() != seq.Min() {
+		t.Errorf("merged min %v != sequential %v", merged.Min(), seq.Min())
+	}
+	if merged.Max() != seq.Max() {
+		t.Errorf("merged max %v != sequential %v", merged.Max(), seq.Max())
+	}
+}
+
+// TestMergeRandomSplitsMatchesSequentialAdd: merging accumulators over any
+// partition of a sample set must agree with adding all samples to one
+// accumulator.
+func TestMergeRandomSplitsMatchesSequentialAdd(t *testing.T) {
+	r := rand.New(rand.NewPCG(1234, 5678))
+	for trial := 0; trial < 200; trial++ {
+		n := r.IntN(60)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Mixed-sign, mixed-magnitude samples, with occasional repeats so
+			// min == max ties get exercised.
+			samples[i] = math.Round((r.Float64()*2-1)*1e3) / 8
+		}
+		// Random partition into k (possibly empty) parts, preserving order
+		// within parts; the campaign engine's worker stripes are exactly such
+		// a partition.
+		k := 1 + r.IntN(6)
+		splits := make([][]float64, k)
+		for _, x := range samples {
+			w := r.IntN(k)
+			splits[w] = append(splits[w], x)
+		}
+		checkMergeEquivalence(t, samples, splits)
+	}
+}
+
+// TestMergeEdgeCases pins the empty/single-sample boundary behavior.
+func TestMergeEdgeCases(t *testing.T) {
+	t.Run("both-empty", func(t *testing.T) {
+		var a, b Accumulator
+		a.Merge(&b)
+		if a.N() != 0 || a.Min() != 0 || a.Max() != 0 {
+			t.Errorf("merge of empties not zero: %+v", a)
+		}
+	})
+	t.Run("empty-into-nonempty", func(t *testing.T) {
+		var a, b Accumulator
+		a.Add(-3)
+		a.Merge(&b)
+		if a.N() != 1 || a.Min() != -3 || a.Max() != -3 || a.Mean() != -3 {
+			t.Errorf("merging empty changed accumulator: %+v", a)
+		}
+	})
+	t.Run("nonempty-into-empty", func(t *testing.T) {
+		var a, b Accumulator
+		b.Add(7)
+		b.Add(-2)
+		a.Merge(&b)
+		if a.N() != 2 || a.Min() != -2 || a.Max() != 7 {
+			t.Errorf("merge into empty lost state: %+v", a)
+		}
+	})
+	t.Run("single-samples", func(t *testing.T) {
+		checkMergeEquivalence(t, []float64{5}, [][]float64{{5}, {}})
+		checkMergeEquivalence(t, []float64{5, -5}, [][]float64{{5}, {-5}})
+	})
+	t.Run("negative-extrema", func(t *testing.T) {
+		// A part whose samples are all negative must still pull min down when
+		// merged into a part with higher min — the case the early-return
+		// structure could silently break if reordered.
+		checkMergeEquivalence(t, []float64{-10, -20, 1}, [][]float64{{1}, {-10, -20}})
+	})
+	t.Run("merge-self-snapshot", func(t *testing.T) {
+		var a Accumulator
+		a.Add(1)
+		a.Add(2)
+		snap := a
+		a.Merge(&snap)
+		if a.N() != 4 || !approxEq(a.Mean(), 1.5) {
+			t.Errorf("self-snapshot merge wrong: n=%d mean=%v", a.N(), a.Mean())
+		}
+	})
+}
