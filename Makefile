@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-campaign check vet fmt bench table1 fig5bounds
+.PHONY: build test test-short test-campaign check vet fmt bench bench-smoke table1 fig5bounds
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,16 @@ fmt:
 test-campaign:
 	$(GO) test -race -run 'Unified|Parallel|Campaign|Sequential' ./internal/sim/
 
-# The full gate: vet plus the complete test suite (chaos campaign included)
-# under the race detector.
-check:
+# The full gate: formatting, vet, and the complete test suite (chaos
+# campaign included) under the race detector.
+check: fmt
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Benchmark smoke: short measurements diffed against the committed baseline,
+# report-only (CI runners are too noisy to hard-fail on ns/op).
+bench-smoke:
+	$(GO) run ./cmd/bench -mintime 50ms -out /tmp/bench_smoke.json -compare BENCH_campaign.json -report-only
 
 # Measure the campaign engine's hot paths on EMN and write the results as
 # machine-readable JSON (schema bpomdp.bench/v1; see DESIGN.md).

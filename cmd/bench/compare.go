@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Regression is one benchmark that got worse than the baseline allows.
+type Regression struct {
+	Name   string
+	Metric string  // "ns_per_op" or "allocs_per_op"
+	Old    float64 // baseline value
+	New    float64 // current value
+	Ratio  float64 // new/old (time metric only)
+}
+
+func (r Regression) String() string {
+	if r.Metric == "allocs_per_op" {
+		return fmt.Sprintf("%s: allocs/op %v -> %v", r.Name, int64(r.Old), int64(r.New))
+	}
+	return fmt.Sprintf("%s: ns/op %.0f -> %.0f (%.2fx)", r.Name, r.Old, r.New, r.Ratio)
+}
+
+// loadReport reads a previously written BENCH_campaign.json.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	if rep.Schema != benchSchema {
+		return nil, fmt.Errorf("%s has schema %q, want %q", path, rep.Schema, benchSchema)
+	}
+	return &rep, nil
+}
+
+// compareReports diffs the current run against a baseline: a benchmark
+// regresses when its ns/op exceeds the baseline by more than the fractional
+// threshold, or when its allocs/op grow at all (allocation counts are exact,
+// so any growth is a real regression, not noise). Benchmarks present in only
+// one report are ignored — new benchmarks are not regressions, and retired
+// ones have nothing to compare against.
+func compareReports(old, cur *Report, threshold float64) []Regression {
+	var out []Regression
+	names := make([]string, 0, len(cur.Bench))
+	for name := range cur.Bench {
+		if _, ok := old.Bench[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := old.Bench[name], cur.Bench[name]
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+threshold) {
+			out = append(out, Regression{
+				Name: name, Metric: "ns_per_op",
+				Old: o.NsPerOp, New: n.NsPerOp, Ratio: n.NsPerOp / o.NsPerOp,
+			})
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			out = append(out, Regression{
+				Name: name, Metric: "allocs_per_op",
+				Old: float64(o.AllocsPerOp), New: float64(n.AllocsPerOp),
+			})
+		}
+	}
+	return out
+}
+
+// printComparison renders a per-benchmark old/new table to w.
+func printComparison(w io.Writer, old, cur *Report) {
+	names := make([]string, 0, len(cur.Bench))
+	for name := range cur.Bench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-24s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, name := range names {
+		n := cur.Bench[name]
+		o, ok := old.Bench[name]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %14s %14.0f %8s %10d\n", name, "-", n.NsPerOp, "new", n.AllocsPerOp)
+			continue
+		}
+		delta := "0%"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		allocs := fmt.Sprintf("%d", n.AllocsPerOp)
+		if n.AllocsPerOp != o.AllocsPerOp {
+			allocs = fmt.Sprintf("%d->%d", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-24s %14.0f %14.0f %8s %10s\n", name, o.NsPerOp, n.NsPerOp, delta, allocs)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(bench map[string]Entry) *Report {
+	return &Report{Schema: benchSchema, Bench: bench}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := report(map[string]Entry{
+		"fast":    {NsPerOp: 100, AllocsPerOp: 2},
+		"slow":    {NsPerOp: 100, AllocsPerOp: 2},
+		"allocs":  {NsPerOp: 100, AllocsPerOp: 2},
+		"retired": {NsPerOp: 100},
+	})
+	cur := report(map[string]Entry{
+		"fast":   {NsPerOp: 90, AllocsPerOp: 2},  // improved
+		"slow":   {NsPerOp: 150, AllocsPerOp: 2}, // +50% over a 30% threshold
+		"allocs": {NsPerOp: 100, AllocsPerOp: 3}, // any alloc growth regresses
+		"new":    {NsPerOp: 1e9, AllocsPerOp: 9}, // no baseline — ignored
+	})
+	regs := compareReports(old, cur, 0.30)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %+v, want 2", len(regs), regs)
+	}
+	if regs[0].Name != "allocs" || regs[0].Metric != "allocs_per_op" {
+		t.Errorf("first regression %+v, want allocs/allocs_per_op", regs[0])
+	}
+	if regs[1].Name != "slow" || regs[1].Metric != "ns_per_op" || regs[1].Ratio != 1.5 {
+		t.Errorf("second regression %+v, want slow/ns_per_op at 1.5x", regs[1])
+	}
+}
+
+func TestCompareReportsWithinThreshold(t *testing.T) {
+	old := report(map[string]Entry{"b": {NsPerOp: 100, AllocsPerOp: 5}})
+	cur := report(map[string]Entry{"b": {NsPerOp: 129, AllocsPerOp: 5}})
+	if regs := compareReports(old, cur, 0.30); len(regs) != 0 {
+		t.Errorf("29%% slowdown under a 30%% threshold flagged: %+v", regs)
+	}
+}
+
+func TestLoadReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	data, err := json.Marshal(report(map[string]Entry{"b": {NsPerOp: 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bench["b"].NsPerOp != 1 {
+		t.Errorf("loaded report %+v", rep.Bench)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong-schema report accepted: %v", err)
+	}
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPrintComparison(t *testing.T) {
+	old := report(map[string]Entry{"b": {NsPerOp: 100, AllocsPerOp: 5}})
+	cur := report(map[string]Entry{
+		"b":   {NsPerOp: 150, AllocsPerOp: 6},
+		"new": {NsPerOp: 10, AllocsPerOp: 0},
+	})
+	var sb strings.Builder
+	printComparison(&sb, old, cur)
+	out := sb.String()
+	for _, want := range []string{"+50.0%", "5->6", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+}

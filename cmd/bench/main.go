@@ -14,10 +14,22 @@
 //   - gs_sweep — one Gauss-Seidel/SOR sweep of the RA-Bound iteration
 //     (linalg.SORKernel.Sweep on the Eq. 5 uniform chain)
 //   - ra_solve — the full RA-Bound fixed-point solve (bounds.RA)
+//   - set_value_batch — bounds.Set.ValueBatch over a batch of beliefs with a
+//     preallocated output slice (the batched engine's leaf evaluation)
+//   - batch_decide — controller.Bounded.DecideBatch over the same batch with
+//     reused decision buffers (the full batched Max-Avg expansion)
+//   - campaign_batched — the campaign engine in batched stepping mode
+//     (CampaignOptions.BatchSize), same figures as campaign_sequential
+//
+// With -compare the report is also diffed against a previously committed
+// baseline: any benchmark whose ns/op regresses by more than -threshold, or
+// whose allocs/op grow at all, fails the run (exit 1) unless -report-only is
+// set. This is the CI benchmark gate.
 //
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_campaign.json -mintime 1s
+//	go run ./cmd/bench -mintime 50ms -out /tmp/b.json -compare BENCH_campaign.json -report-only
 package main
 
 import (
@@ -40,6 +52,9 @@ import (
 	"bpomdp/internal/rng"
 	"bpomdp/internal/sim"
 )
+
+// benchSchema identifies the BENCH_campaign.json document format.
+const benchSchema = "bpomdp.bench/v1"
 
 // Report is the BENCH_campaign.json document ("bpomdp.bench/v1").
 type Report struct {
@@ -91,6 +106,9 @@ func main() {
 	mintime := flag.Duration("mintime", time.Second, "minimum measuring time per benchmark")
 	episodes := flag.Int("episodes", 64, "episodes per campaign iteration")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "workers for the parallel campaign benchmark")
+	compare := flag.String("compare", "", "baseline BENCH_campaign.json to diff against")
+	reportOnly := flag.Bool("report-only", false, "with -compare, print regressions but do not fail")
+	threshold := flag.Float64("threshold", 0.30, "with -compare, fractional ns/op regression tolerated before failing")
 	flag.Parse()
 
 	if err := flag.Set("test.benchtime", mintime.String()); err != nil {
@@ -109,21 +127,42 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		_, _ = os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Bench))
-	for _, name := range []string{"campaign_sequential", "campaign_parallel", "belief_update", "gs_sweep", "ra_solve"} {
-		e, ok := rep.Bench[name]
-		if !ok {
-			continue
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
 		}
-		if e.EpisodesPerSec > 0 {
-			fmt.Printf("  %-22s %10.1f episodes/sec  %8d allocs/episode\n", name, e.EpisodesPerSec, e.AllocsPerEp)
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Bench))
+		for _, name := range []string{"campaign_sequential", "campaign_batched", "campaign_parallel", "belief_update", "gs_sweep", "ra_solve", "set_value_batch", "batch_decide"} {
+			e, ok := rep.Bench[name]
+			if !ok {
+				continue
+			}
+			if e.EpisodesPerSec > 0 {
+				fmt.Printf("  %-22s %10.1f episodes/sec  %8d allocs/episode\n", name, e.EpisodesPerSec, e.AllocsPerEp)
+			} else {
+				fmt.Printf("  %-22s %10.0f ns/op  %8d allocs/op  %8d B/op\n", name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+			}
+		}
+	}
+
+	if *compare != "" {
+		old, err := loadReport(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("comparison against %s (threshold %+.0f%% ns/op, any alloc growth):\n", *compare, *threshold*100)
+		printComparison(os.Stdout, old, rep)
+		regressions := compareReports(old, rep, *threshold)
+		if len(regressions) > 0 {
+			fmt.Printf("%d regression(s):\n", len(regressions))
+			for _, r := range regressions {
+				fmt.Println("  " + r.String())
+			}
+			if !*reportOnly {
+				os.Exit(1)
+			}
 		} else {
-			fmt.Printf("  %-22s %10.0f ns/op  %8d allocs/op  %8d B/op\n", name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+			fmt.Println("no regressions")
 		}
 	}
 }
@@ -141,7 +180,7 @@ func run(episodes, workers int) (*Report, error) {
 	}
 	base := compiled.Recovery.POMDP
 	rep := &Report{
-		Schema:    "bpomdp.bench/v1",
+		Schema:    benchSchema,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -171,10 +210,64 @@ func run(episodes, workers int) (*Report, error) {
 	if err := benchSolver(rep, compiled); err != nil {
 		return nil, err
 	}
+	if err := benchBatch(rep, prep); err != nil {
+		return nil, err
+	}
 	if err := benchCampaigns(rep, compiled, prep, episodes, workers); err != nil {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// benchBatch measures the batched leaf evaluation (Set.ValueBatch over the
+// packed plane slab) and the full batched Max-Avg expansion
+// (Bounded.DecideBatch). Both run with preallocated output buffers — the
+// campaign's steady state — so allocs/op should be zero.
+func benchBatch(rep *Report, prep *core.Prepared) error {
+	const batch = 64
+	n := prep.Model.NumStates()
+	stream := rng.New(7)
+	beliefs := make([]pomdp.Belief, batch)
+	for i := range beliefs {
+		pi := make(pomdp.Belief, n)
+		sum := 0.0
+		for s := range pi {
+			pi[s] = stream.Float64()
+			sum += pi[s]
+		}
+		for s := range pi {
+			pi[s] /= sum
+		}
+		beliefs[i] = pi
+	}
+
+	vals := make([]float64, batch)
+	rep.Bench["set_value_batch"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vals = prep.Set.ValueBatch(beliefs, vals)
+		}
+	}))
+
+	ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1})
+	if err != nil {
+		return err
+	}
+	decisions := make([]controller.Decision, batch)
+	// Warm once outside the timed region so the engine's per-level scratch is
+	// sized before measurement.
+	if err := ctrl.DecideBatch(beliefs, decisions); err != nil {
+		return err
+	}
+	rep.Bench["batch_decide"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ctrl.DecideBatch(beliefs, decisions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return nil
 }
 
 // benchBeliefUpdate measures the Bayes update (Eq. 4) with reused buffers
@@ -305,5 +398,31 @@ func benchCampaigns(rep *Report, compiled *arch.Compiled, prep *core.Prepared, e
 	if workers > 1 {
 		rep.Bench["campaign_parallel"] = finish(testing.Benchmark(func(b *testing.B) { campaign(b, workers) }), workers)
 	}
+
+	// Batched stepping: one worker advances a stripe of live episodes
+	// through DecideBatch, sharing the Max-Avg tree expansion across them.
+	batchCtrl, err := prep.NewController(core.ControllerConfig{Depth: 1})
+	if err != nil {
+		return err
+	}
+	rep.Bench["campaign_batched"] = finish(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		factory := func() (controller.Controller, pomdp.Belief, error) {
+			return batchCtrl, initial, nil
+		}
+		for i := 0; i < b.N; i++ {
+			res, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(uint64(i)), sim.CampaignOptions{
+				Workers:       1,
+				WorkerFactory: factory,
+				BatchSize:     16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Episodes != episodes {
+				b.Fatalf("campaign completed %d/%d episodes", res.Episodes, episodes)
+			}
+		}
+	}), 1)
 	return nil
 }

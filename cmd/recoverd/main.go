@@ -144,6 +144,12 @@ func run(ctx context.Context, args []string) error {
 			initial, err := prep.InitialBelief()
 			return ctrl, initial, err
 		},
+		// Batch deciders are pooled across concurrent requests and share the
+		// bound set, so they are always built with online improvement off —
+		// concurrent set mutation from pooled deciders would race.
+		NewBatchDecider: func() (controller.BatchDecider, error) {
+			return prep.NewController(core.ControllerConfig{Depth: *depth})
+		},
 	})
 	if err != nil {
 		return err

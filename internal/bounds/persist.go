@@ -25,10 +25,10 @@ func (s *Set) MarshalJSON() ([]byte, error) {
 	out := setJSON{
 		States:   s.n,
 		Capacity: s.maxLen,
-		Planes:   make([][]float64, len(s.planes)),
+		Planes:   make([][]float64, s.Size()),
 	}
-	for i, p := range s.planes {
-		out.Planes[i] = append([]float64(nil), p...)
+	for i := range out.Planes {
+		out.Planes[i] = append([]float64(nil), s.row(i)...)
 	}
 	return json.Marshal(out)
 }
@@ -43,20 +43,19 @@ func (s *Set) UnmarshalJSON(data []byte) error {
 	if in.States <= 0 {
 		return fmt.Errorf("bounds: decode set: non-positive state count %d", in.States)
 	}
-	planes := make([]linalg.Vector, len(in.Planes))
+	slab := make([]float64, 0, len(in.Planes)*in.States)
 	for i, p := range in.Planes {
 		if len(p) != in.States {
 			return fmt.Errorf("bounds: decode set: plane %d has length %d, want %d", i, len(p), in.States)
 		}
-		v := linalg.Vector(append([]float64(nil), p...))
-		if !v.IsFinite() {
+		if !linalg.Vector(p).IsFinite() {
 			return fmt.Errorf("bounds: decode set: plane %d is not finite", i)
 		}
-		planes[i] = v
+		slab = append(slab, p...)
 	}
 	s.n = in.States
 	s.maxLen = in.Capacity
-	s.planes = planes
-	s.uses = make([]uint64, len(planes))
+	s.slab = slab
+	s.uses = make([]uint64, len(in.Planes))
 	return nil
 }

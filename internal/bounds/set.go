@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"bpomdp/internal/linalg"
@@ -34,16 +35,23 @@ var ErrEmptySet = errors.New("bounds: empty hyperplane set")
 // pruning, and an optional capacity with least-used eviction (the finite-
 // storage strategy sketched in Section 4.3 of the paper).
 //
+// The planes are stored structure-of-arrays style in one contiguous
+// []float64 slab (plane i occupies slab[i·n : (i+1)·n]), so the
+// max-of-hyperplanes scan streams a single allocation linearly and
+// ValueBatch can amortize one pass over the slab across many beliefs.
+//
 // A Set is not safe for concurrent mutation (Add vs anything else), but
-// Value/ValueArg are safe to call from several goroutines at once on a set
-// nobody is mutating — the usage counters behind least-used eviction are
-// updated atomically — so read-only controllers may share one set (e.g. a
-// pool of campaign workers evaluating the same bootstrapped bound).
+// Value/ValueArg/ValueBatch are safe to call from several goroutines at once
+// on a set nobody is mutating — the usage counters behind least-used
+// eviction are updated atomically — so read-only controllers may share one
+// set (e.g. a pool of campaign workers evaluating the same bootstrapped
+// bound).
 type Set struct {
-	planes []linalg.Vector
-	uses   []uint64 // accessed atomically in ValueArg; plainly under mutation
-	maxLen int      // 0 = unlimited
-	n      int      // state count
+	slab    []float64 // plane i is slab[i*n : (i+1)*n]
+	uses    []uint64  // accessed atomically in ValueArg/ValueBatch; plainly under mutation
+	maxLen  int       // 0 = unlimited
+	n       int       // state count
+	argPool sync.Pool // *[]int argmax scratch for ValueBatch
 }
 
 // NewSet creates a hyperplane set over an n-state belief space, seeded with
@@ -60,7 +68,7 @@ func NewSet(n int, base ...linalg.Vector) (*Set, error) {
 		if !b.IsFinite() {
 			return nil, fmt.Errorf("bounds: base hyperplane %d is not finite", i)
 		}
-		s.planes = append(s.planes, b.Clone())
+		s.slab = append(s.slab, b...)
 		s.uses = append(s.uses, 0)
 	}
 	return s, nil
@@ -72,10 +80,19 @@ func NewSet(n int, base ...linalg.Vector) (*Set, error) {
 func (s *Set) SetCapacity(maxLen int) { s.maxLen = maxLen }
 
 // Size returns the number of stored hyperplanes.
-func (s *Set) Size() int { return len(s.planes) }
+func (s *Set) Size() int { return len(s.uses) }
 
 // NumStates returns the dimension of the underlying belief space.
 func (s *Set) NumStates() int { return s.n }
+
+// row returns plane i as a view into the slab (capped so appends cannot
+// clobber the neighbouring plane).
+func (s *Set) row(i int) []float64 {
+	return s.slab[i*s.n : (i+1)*s.n : (i+1)*s.n]
+}
+
+// at returns entry j of plane i.
+func (s *Set) at(i, j int) float64 { return s.slab[i*s.n+j] }
 
 // Value evaluates V_B⁻(π) = max_b π·b and records a use of the maximizing
 // plane. It panics on dimension mismatch (beliefs are validated upstream)
@@ -89,9 +106,8 @@ func (s *Set) Value(pi pomdp.Belief) float64 {
 // the set is empty).
 func (s *Set) ValueArg(pi pomdp.Belief) (float64, int) {
 	best, arg := math.Inf(-1), -1
-	x := linalg.Vector(pi)
-	for i, b := range s.planes {
-		if v := x.Dot(b); v > best {
+	for i := 0; i < len(s.uses); i++ {
+		if v := linalg.DotUnrolled(pi, s.row(i)); v > best {
 			best, arg = v, i
 		}
 	}
@@ -101,8 +117,60 @@ func (s *Set) ValueArg(pi pomdp.Belief) (float64, int) {
 	return best, arg
 }
 
+// ValueBatch evaluates V_B⁻ at every belief in pis with one linear pass over
+// the plane slab (plane-outer, belief-inner), writing the values into out
+// (grown if its capacity is insufficient) and returning it. Each result is
+// bit-identical to Value on the same belief — the per-plane dot products use
+// the same kernel and the same first-maximizer comparison — and the usage
+// counter of each belief's maximizing plane is bumped exactly as ValueArg
+// would, so eviction behaviour is unchanged. With a preallocated out the
+// call performs no allocations in steady state.
+func (s *Set) ValueBatch(pis []pomdp.Belief, out []float64) []float64 {
+	m := len(pis)
+	if cap(out) < m {
+		out = make([]float64, m)
+	}
+	out = out[:m]
+	argp := s.getArgs(m)
+	args := *argp
+	for j := range out {
+		out[j] = math.Inf(-1)
+		args[j] = -1
+	}
+	for i := 0; i < len(s.uses); i++ {
+		plane := s.row(i)
+		for j, pi := range pis {
+			if v := linalg.DotUnrolled(pi, plane); v > out[j] {
+				out[j], args[j] = v, i
+			}
+		}
+	}
+	for _, a := range args {
+		if a >= 0 {
+			atomic.AddUint64(&s.uses[a], 1)
+		}
+	}
+	s.argPool.Put(argp)
+	return out
+}
+
+// getArgs returns a pooled argmax scratch slice of length m.
+func (s *Set) getArgs(m int) *[]int {
+	p, _ := s.argPool.Get().(*[]int)
+	if p == nil {
+		p = new([]int)
+	}
+	if cap(*p) < m {
+		*p = make([]int, m)
+	}
+	*p = (*p)[:m]
+	return p
+}
+
 // Plane returns (a copy of) hyperplane i.
-func (s *Set) Plane(i int) linalg.Vector { return s.planes[i].Clone() }
+func (s *Set) Plane(i int) linalg.Vector {
+	return append(linalg.Vector(nil), s.row(i)...)
+}
 
 // Add inserts a new hyperplane unless it is pointwise dominated by an
 // existing one (in which case it can never be the max anywhere on the
@@ -120,35 +188,37 @@ func (s *Set) Add(b linalg.Vector) (bool, error) {
 		return false, fmt.Errorf("bounds: non-finite hyperplane")
 	}
 	const tol = 1e-12
-	for _, existing := range s.planes {
-		if dominates(existing, b, tol) {
+	for i := 0; i < s.Size(); i++ {
+		if dominates(s.row(i), b, tol) {
 			return false, nil
 		}
 	}
 	// Prune planes the newcomer dominates (never the base plane at index 0,
 	// which callers rely on for the Property 1(b) guarantee).
 	w := 1
-	for i := 1; i < len(s.planes); i++ {
-		if dominates(b, s.planes[i], tol) {
+	for i := 1; i < s.Size(); i++ {
+		if dominates(b, s.row(i), tol) {
 			continue
 		}
-		s.planes[w] = s.planes[i]
-		s.uses[w] = s.uses[i]
+		if w != i {
+			copy(s.slab[w*s.n:(w+1)*s.n], s.slab[i*s.n:(i+1)*s.n])
+			s.uses[w] = s.uses[i]
+		}
 		w++
 	}
-	s.planes = s.planes[:w]
+	s.slab = s.slab[:w*s.n]
 	s.uses = s.uses[:w]
 
-	if s.maxLen > 0 && len(s.planes) >= s.maxLen {
+	if s.maxLen > 0 && s.Size() >= s.maxLen {
 		s.evictLeastUsed()
 	}
-	s.planes = append(s.planes, b.Clone())
+	s.slab = append(s.slab, b...)
 	s.uses = append(s.uses, 0)
 	return true, nil
 }
 
 // dominates reports a ≥ b pointwise (within tol).
-func dominates(a, b linalg.Vector, tol float64) bool {
+func dominates(a, b []float64, tol float64) bool {
 	for i := range a {
 		if a[i] < b[i]-tol {
 			return false
@@ -157,18 +227,24 @@ func dominates(a, b linalg.Vector, tol float64) bool {
 	return true
 }
 
+// removeAt deletes plane i from the slab and the usage counters.
+func (s *Set) removeAt(i int) {
+	copy(s.slab[i*s.n:], s.slab[(i+1)*s.n:])
+	s.slab = s.slab[:len(s.slab)-s.n]
+	s.uses = append(s.uses[:i], s.uses[i+1:]...)
+}
+
 func (s *Set) evictLeastUsed() {
-	if len(s.planes) <= 1 {
+	if s.Size() <= 1 {
 		return
 	}
 	victim := 1
-	for i := 2; i < len(s.planes); i++ {
+	for i := 2; i < s.Size(); i++ {
 		if s.uses[i] < s.uses[victim] {
 			victim = i
 		}
 	}
-	s.planes = append(s.planes[:victim], s.planes[victim+1:]...)
-	s.uses = append(s.uses[:victim], s.uses[victim+1:]...)
+	s.removeAt(victim)
 }
 
 // CompactLP removes every hyperplane that is nowhere strictly above the
@@ -179,11 +255,14 @@ func (s *Set) evictLeastUsed() {
 // unchanged at every belief. It returns the number of planes removed.
 func (s *Set) CompactLP() (int, error) {
 	removed := 0
-	for i := 1; i < len(s.planes); {
-		others := make([]linalg.Vector, 0, len(s.planes)-1)
-		others = append(others, s.planes[:i]...)
-		others = append(others, s.planes[i+1:]...)
-		useful, err := linalg.PlaneUseful(s.planes[i], others, 1e-9)
+	for i := 1; i < s.Size(); {
+		others := make([]linalg.Vector, 0, s.Size()-1)
+		for k := 0; k < s.Size(); k++ {
+			if k != i {
+				others = append(others, linalg.Vector(s.row(k)))
+			}
+		}
+		useful, err := linalg.PlaneUseful(linalg.Vector(s.row(i)), others, 1e-9)
 		if err != nil {
 			return removed, fmt.Errorf("bounds: compact: %w", err)
 		}
@@ -191,14 +270,22 @@ func (s *Set) CompactLP() (int, error) {
 			i++
 			continue
 		}
-		s.planes = append(s.planes[:i], s.planes[i+1:]...)
-		s.uses = append(s.uses[:i], s.uses[i+1:]...)
+		s.removeAt(i)
 		removed++
 	}
 	return removed, nil
 }
 
-// AsValueFn adapts the set to the pomdp.ValueFn interface.
+// AsValueFn adapts the set to the pomdp.ValueFn interface. Note that a *Set
+// already implements pomdp.ValueFn (and pomdp.BatchValueFn) directly; this
+// wrapper survives for callers that want a plain ValueFunc without the
+// batched fast path.
 func (s *Set) AsValueFn() pomdp.ValueFn {
 	return pomdp.ValueFunc(func(pi pomdp.Belief) float64 { return s.Value(pi) })
 }
+
+// The set is usable directly as a (batched) leaf evaluator.
+var (
+	_ pomdp.ValueFn      = (*Set)(nil)
+	_ pomdp.BatchValueFn = (*Set)(nil)
+)

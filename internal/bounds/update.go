@@ -134,7 +134,7 @@ func (u *Updater) backupAction(pi pomdp.Belief, a int) {
 				return
 			}
 			for i := 0; i < u.set.Size(); i++ {
-				u.score[i][o] += w * u.set.planes[i][s]
+				u.score[i][o] += w * u.set.at(i, s)
 			}
 		})
 	}
@@ -155,7 +155,7 @@ func (u *Updater) backupAction(pi pomdp.Belief, a int) {
 	u.g.Fill(0)
 	for s := 0; s < n; s++ {
 		p.Obs[a].Row(s, func(o int, q float64) {
-			u.g[s] += q * u.set.planes[u.sel[o]][s]
+			u.g[s] += q * u.set.at(u.sel[o], s)
 		})
 	}
 	// b_a = r(a) + β·P(a)·g.

@@ -110,6 +110,10 @@ func TestChaosEpisodesMatchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	remote, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(campaignSeed), sim.CampaignOptions{
+		// Workers is pinned to 1: the exact-equality comparison against the
+		// sequential baseline needs the sequential fold order, and Workers: 0
+		// would auto-tune to GOMAXPROCS because an EpisodeFactory is set.
+		Workers:         1,
 		ContinueOnError: true,
 		EpisodeFactory: func(int) (controller.Controller, func(error), error) {
 			ep, err := c.StartEpisode()

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/server"
+	"bpomdp/internal/sim"
+	"bpomdp/internal/stats"
+)
+
+// statsAcc zeroes the wall-clock-derived AlgoTimeMs accumulator before
+// bit-for-bit campaign comparison.
+type statsAcc = stats.Accumulator
+
+// batchHarness is harness plus the batch-decide endpoint, returning the
+// Prepared so tests can build twin local controllers.
+func batchHarness(t *testing.T) (*Client, *core.Prepared, *core.RecoveryModel) {
+	t.Helper()
+	prep, rm := twoServerPrep(t)
+	srv, err := server.New(server.Config{
+		Model:         prep.Model,
+		NewController: boundedFactory(prep),
+		NewBatchDecider: func() (controller.BatchDecider, error) {
+			return prep.NewController(core.ControllerConfig{Depth: 1})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	c, err := New(hs.URL, hs.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, prep, rm
+}
+
+// TestClientDecideBatchRoundTrip: remote batch decisions equal a twin local
+// controller's, through JSON and back.
+func TestClientDecideBatchRoundTrip(t *testing.T) {
+	c, prep, _ := batchHarness(t)
+	n := prep.Model.NumStates()
+	stream := rng.New(37)
+	beliefs := make([]pomdp.Belief, 7)
+	for i := range beliefs {
+		pi := make(pomdp.Belief, n)
+		sum := 0.0
+		for s := range pi {
+			pi[s] = stream.Float64()
+			sum += pi[s]
+		}
+		for s := range pi {
+			pi[s] /= sum
+		}
+		beliefs[i] = pi
+	}
+	got, err := c.DecideBatch(beliefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := prep.NewController(core.ControllerConfig{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]controller.Decision, len(beliefs))
+	if err := local.DecideBatch(beliefs, want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("remote batch decisions diverge from local:\nremote: %+v\nlocal:  %+v", got, want)
+	}
+
+	if _, err := c.DecideBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+// TestRemoteBatchedCampaign drives the campaign engine's batched stepping
+// mode through the remote daemon: the BatchDecider adapter (with the
+// transformed model attached for the belief filters) must reproduce the
+// local batched campaign exactly — the endpoint is stateless and the local
+// and remote deciders share the same bootstrapped bound.
+func TestRemoteBatchedCampaign(t *testing.T) {
+	c, prep, rm := batchHarness(t)
+	runner, err := sim.NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := prep.InitialBelief()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{1, 2}
+	const episodes = 24
+
+	localCtrl, err := prep.NewController(core.ControllerConfig{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := runner.RunCampaignOpts(localCtrl, initial, faults, episodes, rng.New(47), sim.CampaignOptions{
+		Workers: 1, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := runner.RunCampaignOpts(nil, initial, faults, episodes, rng.New(47), sim.CampaignOptions{
+		Workers: 1, BatchSize: 8,
+		BatchDecider: c.BatchDecider().WithModel(prep.Model),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.Name, remote.Name = "", ""
+	local.AlgoTimeMs, remote.AlgoTimeMs = statsAcc{}, statsAcc{}
+	if !reflect.DeepEqual(local, remote) {
+		t.Errorf("remote batched campaign diverges from local:\nlocal:  %+v\nremote: %+v", local, remote)
+	}
+}

@@ -44,9 +44,17 @@ type Bounded struct {
 	set     *bounds.Set
 	updater *bounds.Updater
 	nullSet []int
+
+	// DecideBatch scratch, reused across calls.
+	batchIdx []int
+	batchPis []pomdp.Belief
+	batchRes []pomdp.BackupResult
 }
 
-var _ Controller = (*Bounded)(nil)
+var (
+	_ Controller   = (*Bounded)(nil)
+	_ BatchDecider = (*Bounded)(nil)
+)
 
 // NewBounded builds a bounded controller over the (already transformed)
 // model p using the hyperplane set as the leaf bound. The set is used (and,
@@ -71,7 +79,10 @@ func NewBounded(p *pomdp.POMDP, set *bounds.Set, cfg BoundedConfig) (*Bounded, e
 	if cfg.TerminateAction < 0 && len(cfg.NullStates) == 0 {
 		return nil, fmt.Errorf("controller: recovery-notification regime needs NullStates to detect completion")
 	}
-	engine, err := NewEngine(p, cfg.Depth, cfg.Beta, set.AsValueFn())
+	// The set is passed directly (it implements pomdp.BatchValueFn), so the
+	// engine's batched expansion can evaluate whole leaf frontiers with one
+	// pass over the hyperplane slab.
+	engine, err := NewEngine(p, cfg.Depth, cfg.Beta, set)
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +111,13 @@ func (b *Bounded) Name() string {
 // Set returns the hyperplane set used at the leaves.
 func (b *Bounded) Set() *bounds.Set { return b.set }
 
+// Model returns the (transformed) POMDP the controller decides over. The
+// campaign engine's batched stepping mode uses it to track per-episode
+// beliefs over the same state space the decider expects — which is larger
+// than the simulated base model whenever the Section 3.1 transforms appended
+// termination states.
+func (b *Bounded) Model() *pomdp.POMDP { return b.p }
+
 // Decide implements Controller. It expands the Max-Avg tree at the current
 // belief and returns the maximizing action; choosing a_T (or, with recovery
 // notification, certainty of Sφ) terminates the episode.
@@ -107,41 +125,114 @@ func (b *Bounded) Decide() (Decision, error) {
 	if b.belief == nil {
 		return Decision{}, ErrNotReset
 	}
+	return b.decideAt(b.belief)
+}
+
+// certainty is the belief mass at which the recovery-notification regime
+// considers the system certainly recovered.
+const certainty = 1 - 1e-9
+
+// decideAt is Decide for an explicit belief (which need not be the tracked
+// one — DecideBatch and the batch server endpoint decide for foreign
+// beliefs).
+func (b *Bounded) decideAt(pi pomdp.Belief) (Decision, error) {
 	if b.cfg.CheckConsistency {
-		rep, err := bounds.CheckConsistency(b.p, b.sc, b.set, b.belief, bounds.Options{Beta: b.cfg.Beta})
+		rep, err := bounds.CheckConsistency(b.p, b.sc, b.set, pi, bounds.Options{Beta: b.cfg.Beta})
 		if err != nil {
 			return Decision{}, err
 		}
 		if !rep.OK {
 			return Decision{}, fmt.Errorf("controller: Property 1(b) violated at belief %v: V_B=%v > L_pV_B=%v",
-				b.belief, rep.Bound, rep.Backup)
+				pi, rep.Bound, rep.Backup)
 		}
 	}
 	if b.updater != nil {
-		if _, err := b.updater.UpdateAt(b.belief); err != nil {
+		if _, err := b.updater.UpdateAt(pi); err != nil {
 			return Decision{}, fmt.Errorf("controller: online bound update: %w", err)
 		}
 	}
 	// Recovery-notification regime: stop as soon as the belief certifies Sφ.
-	const certainty = 1 - 1e-9
-	if b.cfg.TerminateAction < 0 && b.belief.Mass(b.nullSet) >= certainty {
+	if b.cfg.TerminateAction < 0 && pi.Mass(b.nullSet) >= certainty {
 		return Decision{Terminate: true, Value: 0}, nil
 	}
-	res, err := b.engine.Choose(b.belief)
+	res, err := b.engine.Choose(pi)
 	if err != nil {
 		return Decision{}, err
 	}
+	return b.toDecision(&res), nil
+}
+
+// toDecision converts a root backup into a Decision, applying the a_T
+// tie-break: Property 1(a) demands no free actions outside s_T, but real
+// models often have a zero-cost passive action at the Sφ vertex (monitoring
+// a healthy system drops no requests). At that vertex Q(a_T) ties the
+// maximum and a plain argmax can loop on the free action forever;
+// terminating on a tie costs nothing by the controller's own estimate and
+// restores the termination guarantee.
+func (b *Bounded) toDecision(res *pomdp.BackupResult) Decision {
 	d := Decision{Action: res.Action, Value: res.Value}
-	// Tie-break toward a_T: Property 1(a) demands no free actions outside
-	// s_T, but real models often have a zero-cost passive action at the Sφ
-	// vertex (monitoring a healthy system drops no requests). At that vertex
-	// Q(a_T) ties the maximum and a plain argmax can loop on the free action
-	// forever; terminating on a tie costs nothing by the controller's own
-	// estimate and restores the termination guarantee.
 	if b.cfg.TerminateAction >= 0 &&
 		(res.Action == b.cfg.TerminateAction || res.QValues[b.cfg.TerminateAction] >= res.Value-1e-9) {
 		d.Action = b.cfg.TerminateAction
 		d.Terminate = true
 	}
-	return d, nil
+	return d
+}
+
+// DecideBatch implements BatchDecider: it decides for every belief in pis
+// independently of the tracked episode belief, writing Decision j into
+// out[j]. Certainty-terminated beliefs (recovery notification) are answered
+// directly; the rest share one batched tree expansion, with results
+// bit-identical to per-belief Decide calls.
+//
+// With ImproveOnline or CheckConsistency configured the controller falls
+// back to sequential per-belief decisions, because both mutate or audit the
+// shared bound set between decisions and a batched expansion would observe
+// a different set than the sequential order does.
+func (b *Bounded) DecideBatch(pis []pomdp.Belief, out []Decision) error {
+	if len(out) < len(pis) {
+		return fmt.Errorf("controller: batch decision buffer length %d < %d beliefs", len(out), len(pis))
+	}
+	if b.updater != nil || b.cfg.CheckConsistency {
+		for j, pi := range pis {
+			d, err := b.decideAt(pi)
+			if err != nil {
+				return fmt.Errorf("controller: batch belief %d: %w", j, err)
+			}
+			out[j] = d
+		}
+		return nil
+	}
+	n := b.p.NumStates()
+	b.batchIdx = b.batchIdx[:0]
+	b.batchPis = b.batchPis[:0]
+	for j, pi := range pis {
+		if len(pi) != n {
+			return fmt.Errorf("controller: batch belief %d length %d, want %d", j, len(pi), n)
+		}
+		if b.cfg.TerminateAction < 0 && pi.Mass(b.nullSet) >= certainty {
+			out[j] = Decision{Terminate: true, Value: 0}
+			continue
+		}
+		b.batchIdx = append(b.batchIdx, j)
+		b.batchPis = append(b.batchPis, pi)
+	}
+	if len(b.batchIdx) == 0 {
+		return nil
+	}
+	// Grow the result buffer while keeping the QValues slices already
+	// allocated in earlier calls, so the steady state allocates nothing.
+	if cap(b.batchRes) < len(b.batchIdx) {
+		grown := make([]pomdp.BackupResult, len(b.batchIdx))
+		copy(grown, b.batchRes[:cap(b.batchRes)])
+		b.batchRes = grown
+	}
+	b.batchRes = b.batchRes[:len(b.batchIdx)]
+	if err := b.engine.ChooseBatch(b.batchPis, b.batchRes); err != nil {
+		return err
+	}
+	for k, j := range b.batchIdx {
+		out[j] = b.toDecision(&b.batchRes[k])
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"math"
 
 	"bpomdp/internal/pomdp"
 )
@@ -11,12 +12,35 @@ import (
 // values are averaged over observations and maximized over actions, with a
 // leaf evaluator (a lower bound or a heuristic) supplying the remaining
 // reward at the frontier.
+//
+// Besides the per-belief Choose, the engine offers ChooseBatch, which
+// expands the tree for a whole batch of beliefs at once: each tree level
+// shares one successor arena across the batch and, when the leaf implements
+// pomdp.BatchValueFn, evaluates the entire frontier with a single batched
+// call. Per-belief results are bit-identical to Choose — the engine
+// preserves the sequential per-action, per-observation floating-point
+// accumulation order for every belief — so the two entry points are freely
+// interchangeable.
 type Engine struct {
-	p     *pomdp.POMDP
-	beta  float64
-	depth int
-	leaf  pomdp.ValueFn
-	sc    *pomdp.Scratch
+	p         *pomdp.POMDP
+	beta      float64
+	depth     int
+	leaf      pomdp.ValueFn
+	batchLeaf pomdp.BatchValueFn // non-nil when leaf supports batched evaluation
+	sc        *pomdp.Scratch
+
+	levels   []*batchLevel // reusable per-depth expansion state
+	rootVals []float64     // root value scratch for ChooseBatch
+}
+
+// batchLevel is the reusable state of one tree level of a batched
+// expansion: the shared successor arena and the per-belief accumulators for
+// the action currently being expanded.
+type batchLevel struct {
+	buf    *pomdp.SuccessorBuf
+	q      []float64 // per-belief Q accumulator for the current action
+	counts []int     // successors appended per belief for the current action
+	vals   []float64 // values of the level's frontier beliefs
 }
 
 // NewEngine builds a Max-Avg tree engine of the given depth ≥ 1 over model
@@ -34,7 +58,9 @@ func NewEngine(p *pomdp.POMDP, depth int, beta float64, leaf pomdp.ValueFn) (*En
 	if leaf == nil {
 		return nil, fmt.Errorf("controller: nil leaf evaluator")
 	}
-	return &Engine{p: p, beta: beta, depth: depth, leaf: leaf, sc: pomdp.NewScratch(p)}, nil
+	e := &Engine{p: p, beta: beta, depth: depth, leaf: leaf, sc: pomdp.NewScratch(p)}
+	e.batchLeaf, _ = leaf.(pomdp.BatchValueFn)
+	return e, nil
 }
 
 // Depth returns the expansion depth.
@@ -46,6 +72,31 @@ func (e *Engine) Choose(pi pomdp.Belief) (pomdp.BackupResult, error) {
 	return pomdp.Backup(e.p, e.sc, pi, e.beta, pomdp.ValueFunc(func(b pomdp.Belief) float64 {
 		return e.evaluate(b, e.depth-1)
 	}))
+}
+
+// ChooseBatch expands the tree at every belief in pis and writes the root
+// backup of belief j into out[j], reusing out[j].QValues when its capacity
+// allows. Results are bit-identical to calling Choose on each belief in
+// turn. out must be at least as long as pis.
+func (e *Engine) ChooseBatch(pis []pomdp.Belief, out []pomdp.BackupResult) error {
+	if len(out) < len(pis) {
+		return fmt.Errorf("controller: batch result buffer length %d < %d beliefs", len(out), len(pis))
+	}
+	n, nA := e.p.NumStates(), e.p.NumActions()
+	for j, pi := range pis {
+		if len(pi) != n {
+			return fmt.Errorf("pomdp: belief length %d, want %d", len(pi), n)
+		}
+		if cap(out[j].QValues) < nA {
+			out[j].QValues = make([]float64, nA)
+		}
+		out[j].QValues = out[j].QValues[:nA]
+	}
+	if cap(e.rootVals) < len(pis) {
+		e.rootVals = make([]float64, len(pis))
+	}
+	e.expand(0, e.depth, pis, e.rootVals[:len(pis)], out[:len(pis)])
+	return nil
 }
 
 // Value evaluates the depth-limited value estimate at π without committing
@@ -75,4 +126,94 @@ func (e *Engine) evaluate(pi pomdp.Belief, remaining int) float64 {
 		panic(fmt.Sprintf("controller: internal backup failure: %v", err))
 	}
 	return res.Value
+}
+
+// level returns the reusable expansion state for tree level lvl, growing
+// the level list on first use.
+func (e *Engine) level(lvl int) *batchLevel {
+	for len(e.levels) <= lvl {
+		e.levels = append(e.levels, &batchLevel{buf: pomdp.NewSuccessorBuf(e.p)})
+	}
+	return e.levels[lvl]
+}
+
+// expand is the batched Max-Avg recursion: it computes, for every belief in
+// pis, the value with `remaining` further expansions into vals, and — when
+// res is non-nil (the root call) — the per-action Q-values and maximizing
+// action into res. For each action the whole batch's successors are
+// enumerated into one arena and the next level (or the leaf bound) is
+// evaluated over that frontier in a single pass; the per-belief
+// floating-point accumulation order is exactly the sequential engine's
+// (reward first, then successors in ascending observation order, actions
+// compared in ascending order), which is what makes the results
+// bit-identical to Choose.
+func (e *Engine) expand(lvl, remaining int, pis []pomdp.Belief, vals []float64, res []pomdp.BackupResult) {
+	f := e.level(lvl)
+	m := len(pis)
+	if cap(f.q) < m {
+		f.q = make([]float64, m)
+		f.counts = make([]int, m)
+	}
+	q, counts := f.q[:m], f.counts[:m]
+	for j := range vals {
+		vals[j] = math.Inf(-1)
+	}
+	if res != nil {
+		for j := range res {
+			res[j].Value = math.Inf(-1)
+			res[j].Action = -1
+		}
+	}
+	for a := 0; a < e.p.NumActions(); a++ {
+		f.buf.Reset()
+		for j, pi := range pis {
+			q[j] = e.p.ExpectedReward(pi, a)
+			counts[j] = e.p.AppendSuccessors(e.sc, f.buf, pi, a)
+		}
+		frontier := f.buf.Beliefs()
+		probs := f.buf.Probs()
+		if cap(f.vals) < len(frontier) {
+			f.vals = make([]float64, len(frontier))
+		}
+		fvals := f.vals[:len(frontier)]
+		if remaining == 1 {
+			e.leafValues(frontier, fvals)
+		} else {
+			e.expand(lvl+1, remaining-1, frontier, fvals, nil)
+		}
+		idx := 0
+		for j := range pis {
+			qj := q[j]
+			for c := 0; c < counts[j]; c++ {
+				qj += e.beta * probs[idx] * fvals[idx]
+				idx++
+			}
+			if res != nil {
+				res[j].QValues[a] = qj
+			}
+			if qj > vals[j] {
+				vals[j] = qj
+				if res != nil {
+					res[j].Action = a
+				}
+			}
+		}
+	}
+	if res != nil {
+		for j := range res {
+			res[j].Value = vals[j]
+		}
+	}
+}
+
+// leafValues evaluates the leaf bound over a frontier, batched when the
+// leaf supports it.
+func (e *Engine) leafValues(pis []pomdp.Belief, out []float64) {
+	if e.batchLeaf != nil {
+		e.batchLeaf.ValueBatch(pis, out)
+		return
+	}
+	for j, pi := range pis {
+		out[j] = e.leaf.Value(pi)
+	}
 }

@@ -47,13 +47,13 @@ func (v Vector) Fill(x float64) {
 // time so a mismatch here is a programming error.
 func (v Vector) Dot(w Vector) float64 {
 	if len(v) != len(w) {
-		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(v), len(w)))
+		panic(dotMismatch(len(v), len(w)))
 	}
-	var s float64
-	for i, x := range v {
-		s += x * w[i]
-	}
-	return s
+	return dotKernel(v, w)
+}
+
+func dotMismatch(a, b int) string {
+	return fmt.Sprintf("linalg: Dot length mismatch %d != %d", a, b)
 }
 
 // AddScaled sets v = v + alpha*w in place and returns v.

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/pomdp"
+)
+
+// Batch-decision payloads.
+type (
+	// BatchDecideRequest is the body of POST /v1/decide/batch: one belief
+	// (a distribution over the model's states) per decision wanted.
+	BatchDecideRequest struct {
+		Beliefs [][]float64 `json:"beliefs"`
+	}
+	// BatchDecideResponse is returned by POST /v1/decide/batch. Decision i
+	// answers belief i.
+	BatchDecideResponse struct {
+		Decisions []DecisionResponse `json:"decisions"`
+	}
+)
+
+// getBatchDecider fetches a pooled batch decider, building a fresh one from
+// the factory when the pool is empty.
+func (s *Server) getBatchDecider() (controller.BatchDecider, error) {
+	if bd, ok := s.batchPool.Get().(controller.BatchDecider); ok {
+		return bd, nil
+	}
+	bd, err := s.cfg.NewBatchDecider()
+	if err != nil {
+		return nil, fmt.Errorf("batch decider factory: %w", err)
+	}
+	if bd == nil {
+		return nil, errors.New("batch decider factory returned nil")
+	}
+	return bd, nil
+}
+
+// handleBatchDecide serves POST /v1/decide/batch: decisions for many
+// beliefs in one stateless request. The decider is taken from a pool, so
+// repeated batches re-use the same engine scratch and the steady state
+// builds no controllers.
+func (s *Server) handleBatchDecide(w http.ResponseWriter, r *http.Request) {
+	var req BatchDecideRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode batch decide request: %w", err))
+		return
+	}
+	if len(req.Beliefs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no beliefs in batch"))
+		return
+	}
+	if len(req.Beliefs) > s.cfg.MaxBatchBeliefs {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d beliefs over cap %d", len(req.Beliefs), s.cfg.MaxBatchBeliefs))
+		return
+	}
+	n := s.cfg.Model.NumStates()
+	beliefs := make([]pomdp.Belief, len(req.Beliefs))
+	for i, b := range req.Beliefs {
+		if len(b) != n {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("belief %d has length %d, want %d", i, len(b), n))
+			return
+		}
+		pi := pomdp.Belief(b)
+		if !pi.IsDistribution() {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("belief %d is not a distribution", i))
+			return
+		}
+		beliefs[i] = pi
+	}
+
+	bd, err := s.getBatchDecider()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	decisions := make([]controller.Decision, len(beliefs))
+	if err := bd.DecideBatch(beliefs, decisions); err != nil {
+		// The decider may be mid-batch in an unknown state; drop it rather
+		// than pooling it.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.batchPool.Put(bd)
+
+	resp := BatchDecideResponse{Decisions: make([]DecisionResponse, len(decisions))}
+	for i, d := range decisions {
+		dr := DecisionResponse{Action: d.Action, Terminate: d.Terminate, Value: d.Value}
+		if !d.Terminate || d.Action >= 0 {
+			dr.ActionName = s.cfg.Model.M.ActionName(d.Action)
+		}
+		resp.Decisions[i] = dr
+	}
+	s.batchRequests.Add(1)
+	s.batchDecisions.Add(uint64(len(decisions)))
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -14,10 +14,19 @@
 //	POST   /v1/episodes/{id}/observations  report an observation
 //	GET    /v1/episodes/{id}/belief        current belief
 //	DELETE /v1/episodes/{id}               abandon an episode
+//	POST   /v1/decide/batch                decide for many beliefs at once
+//	                                       (served only with NewBatchDecider)
 //
 // Controllers are stateful and single-threaded, so every episode gets its
 // own controller from the configured factory, and requests within an
 // episode are serialized.
+//
+// The batch endpoint is different: it is stateless — the caller supplies
+// the beliefs, the server replies with one decision per belief, and no
+// episode state is created or touched — which makes it naturally idempotent
+// (a retry re-computes the identical answer) and lets campaign-scale
+// clients amortize one HTTP round-trip and one batched tree expansion
+// across many live episodes.
 //
 // # Failure model
 //
@@ -80,6 +89,15 @@ type Config struct {
 	EpisodeTTL time.Duration
 	// MaxBodyBytes caps request body size (0 means 1 MiB).
 	MaxBodyBytes int64
+	// NewBatchDecider, when non-nil, enables POST /v1/decide/batch: it
+	// builds the batch decision engines served to concurrent batch
+	// requests (they are pooled and reused; each must be independent, and
+	// none may mutate shared state such as an online-improved bound set).
+	// When nil the endpoint is not registered and returns 404.
+	NewBatchDecider func() (controller.BatchDecider, error)
+	// MaxBatchBeliefs caps the beliefs accepted per batch request
+	// (0 means 1024).
+	MaxBatchBeliefs int
 	// RetryAfter is the Retry-After hint returned with 429 responses when
 	// MaxEpisodes is hit (0 means 1 second).
 	RetryAfter time.Duration
@@ -110,14 +128,20 @@ type Server struct {
 	// restore) or while tests poke at the report.
 	restored RestoreReport
 
-	started          atomic.Uint64
-	terminated       atomic.Uint64
-	decisions        atomic.Uint64
-	observed         atomic.Uint64
-	evicted          atomic.Uint64
-	panics           atomic.Uint64
-	dedupedStarts    atomic.Uint64
-	dedupedObs       atomic.Uint64
+	started        atomic.Uint64
+	terminated     atomic.Uint64
+	decisions      atomic.Uint64
+	observed       atomic.Uint64
+	evicted        atomic.Uint64
+	panics         atomic.Uint64
+	dedupedStarts  atomic.Uint64
+	dedupedObs     atomic.Uint64
+	batchRequests  atomic.Uint64
+	batchDecisions atomic.Uint64
+
+	// batchPool recycles batch deciders across /v1/decide/batch requests so
+	// the steady state builds no controllers.
+	batchPool        sync.Pool
 	checkpointErrors atomic.Uint64
 }
 
@@ -198,6 +222,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.MaxBatchBeliefs == 0 {
+		cfg.MaxBatchBeliefs = 1024
+	}
+	if cfg.MaxBatchBeliefs < 0 {
+		return nil, fmt.Errorf("server: negative batch belief cap %d", cfg.MaxBatchBeliefs)
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -217,6 +247,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/episodes/{id}/observations", s.handleObservation)
 	s.mux.HandleFunc("GET /v1/episodes/{id}/belief", s.handleBelief)
 	s.mux.HandleFunc("DELETE /v1/episodes/{id}", s.handleDelete)
+	if cfg.NewBatchDecider != nil {
+		s.mux.HandleFunc("POST /v1/decide/batch", s.handleBatchDecide)
+	}
 	if cfg.Checkpointer != nil {
 		s.restore()
 	}
@@ -485,6 +518,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "recoverd_observations_total %d\n", s.observed.Load())
 	fmt.Fprintf(w, "recoverd_deduped_starts_total %d\n", s.dedupedStarts.Load())
 	fmt.Fprintf(w, "recoverd_deduped_observations_total %d\n", s.dedupedObs.Load())
+	fmt.Fprintf(w, "recoverd_batch_decide_requests_total %d\n", s.batchRequests.Load())
+	fmt.Fprintf(w, "recoverd_batch_decisions_total %d\n", s.batchDecisions.Load())
 	fmt.Fprintf(w, "recoverd_panics_total %d\n", s.panics.Load())
 	fmt.Fprintf(w, "recoverd_checkpoint_errors_total %d\n", s.checkpointErrors.Load())
 	fmt.Fprintf(w, "recoverd_episodes_open %d\n", s.OpenEpisodes())

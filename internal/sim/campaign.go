@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -77,17 +78,43 @@ type CampaignOptions struct {
 	// for abandoning remote episodes. With Workers > 1 the factory is called
 	// concurrently from worker goroutines and must be safe for that.
 	EpisodeFactory func(episode int) (controller.Controller, func(error), error)
-	// Workers is the number of campaign goroutines; 0 or 1 runs the
-	// campaign sequentially on the calling goroutine. Episode i is assigned
-	// to worker i mod Workers and uses the same derived RNG stream at any
+	// Workers is the number of campaign goroutines; 1 runs the campaign
+	// sequentially on the calling goroutine. Episode i is assigned to
+	// worker i mod Workers and uses the same derived RNG stream at any
 	// worker count, so for a fixed Workers value the campaign is exactly
 	// reproducible; the merged statistics with Workers == 1 are bit-for-bit
 	// the sequential result.
+	//
+	// Workers == 0 auto-tunes: when a WorkerFactory or EpisodeFactory makes
+	// parallel execution possible, the count is picked from the episode
+	// count and GOMAXPROCS (never more than one worker per four episodes,
+	// never more than GOMAXPROCS); with only a shared controller it stays
+	// sequential. Auto-tuned campaigns are reproducible only on a fixed
+	// GOMAXPROCS — pass an explicit count when determinism across machines
+	// matters.
 	Workers int
 	// WorkerFactory supplies each worker's private controller and initial
 	// belief. Required when Workers > 1 and no EpisodeFactory is set: a
 	// shared ctrl is stateful and cannot be driven from several goroutines.
 	WorkerFactory ControllerFactory
+	// BatchSize > 0 enables batched stepping: each worker keeps up to
+	// BatchSize episodes live at once and advances them together through
+	// one BatchDecider call per round, amortizing tree expansion and
+	// leaf-bound evaluation across the batch. Per-episode RNG streams,
+	// trajectories, and metrics are bit-identical to sequential stepping
+	// (each worker folds its completed episodes in episode-index order),
+	// so BatchSize is purely a throughput knob. Batched stepping drives
+	// bare belief filters instead of the episode controller, so it is
+	// incompatible with EpisodeFactory and does not feed StateAware
+	// controllers.
+	BatchSize int
+	// BatchDecider supplies the decision engine for batched stepping. When
+	// nil, the worker's controller (shared ctrl or WorkerFactory product)
+	// must implement controller.BatchDecider. A BatchDecider is stateful
+	// scratch-wise and must not be shared between workers; setting it with
+	// Workers > 1 is rejected — use a WorkerFactory whose controllers
+	// implement controller.BatchDecider instead.
+	BatchDecider controller.BatchDecider
 }
 
 // RunCampaign injects episodes faults (uniformly over faultStates) and
@@ -118,15 +145,30 @@ func (r *Runner) RunCampaignOpts(ctrl controller.Controller, initial pomdp.Belie
 	if episodes < 1 {
 		return out, fmt.Errorf("sim: non-positive episode count %d", episodes)
 	}
-	if ctrl == nil && opts.EpisodeFactory == nil && opts.WorkerFactory == nil {
+	if ctrl == nil && opts.EpisodeFactory == nil && opts.WorkerFactory == nil && opts.BatchDecider == nil {
 		return out, fmt.Errorf("sim: nil controller and no episode or worker factory")
 	}
+	if opts.BatchSize < 0 {
+		return out, fmt.Errorf("sim: negative batch size %d", opts.BatchSize)
+	}
+	if opts.BatchSize > 0 && opts.EpisodeFactory != nil {
+		return out, fmt.Errorf("sim: batched stepping is incompatible with EpisodeFactory")
+	}
+	if opts.BatchDecider != nil && opts.BatchSize == 0 {
+		return out, fmt.Errorf("sim: BatchDecider set without a positive BatchSize")
+	}
 	workers := opts.Workers
+	if workers == 0 && (opts.WorkerFactory != nil || opts.EpisodeFactory != nil) {
+		workers = autoWorkers(episodes, runtime.GOMAXPROCS(0))
+	}
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > episodes {
 		workers = episodes
+	}
+	if workers > 1 && opts.BatchDecider != nil {
+		return out, fmt.Errorf("sim: shared batch decider cannot run %d workers; use a WorkerFactory of batch-capable controllers", workers)
 	}
 
 	if workers == 1 {
@@ -182,6 +224,20 @@ func firstNonEmpty(a, b string) string {
 	return b
 }
 
+// autoWorkers picks the worker count for Workers == 0: one worker per four
+// episodes (a worker with fewer episodes spends more time starting up than
+// simulating), capped at GOMAXPROCS, and never below one.
+func autoWorkers(episodes, procs int) int {
+	w := episodes / 4
+	if w < 1 {
+		w = 1
+	}
+	if w > procs {
+		w = procs
+	}
+	return w
+}
+
 // runWorker runs worker w's stripe of the campaign — episodes w, w+workers,
 // w+2·workers, … — sequentially on the calling goroutine. It is the single
 // episode loop behind every campaign mode: the sequential engine is exactly
@@ -190,6 +246,9 @@ func firstNonEmpty(a, b string) string {
 // their stripes, so the merged partial result of a failing campaign is
 // itself deterministic for a fixed worker count.
 func (r *Runner) runWorker(w, workers int, ctrl controller.Controller, initial pomdp.Belief, faultStates []int, episodes int, stream *rng.Stream, opts CampaignOptions) (CampaignResult, error) {
+	if opts.BatchSize > 0 {
+		return r.runWorkerBatched(w, workers, ctrl, initial, faultStates, episodes, stream, opts)
+	}
 	var out CampaignResult
 	if ctrl != nil {
 		out.Name = ctrl.Name()

@@ -138,9 +138,18 @@ func (r *Runner) RunEpisode(ctrl controller.Controller, initial pomdp.Belief, fa
 	return res, fmt.Errorf("sim: %s after %d steps: %w", ctrl.Name(), r.maxStep, ErrTimedOut)
 }
 
+// stepObserver is the slice of controller.Controller the episode step needs:
+// something that absorbs observations and names itself in errors. The
+// batched campaign engine drives bare belief filters (the decisions come
+// from a shared BatchDecider), so step cannot demand a full Controller.
+type stepObserver interface {
+	Observe(action, obs int) error
+	Name() string
+}
+
 // step executes one action on the true system (transition + monitor sweep +
 // accounting) and feeds the sampled observation to the controller.
-func (r *Runner) step(ctrl controller.Controller, res *EpisodeResult, state, action int, stream *rng.Stream) (int, error) {
+func (r *Runner) step(ctrl stepObserver, res *EpisodeResult, state, action int, stream *rng.Stream) (int, error) {
 	p := r.rm.POMDP
 	dur := r.rm.Durations[action]
 	tMon := r.rm.MonitorDuration
