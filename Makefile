@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-campaign check vet fmt bench bench-smoke table1 fig5bounds
+.PHONY: build test test-short test-campaign check vet fmt lint bench bench-smoke table1 fig5bounds
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ vet:
 fmt:
 	gofmtout=$$(gofmt -l .); if [ -n "$$gofmtout" ]; then echo "gofmt needed:"; echo "$$gofmtout"; exit 1; fi
 
+# Static analysis beyond vet. staticcheck is not vendored; CI installs it,
+# and locally the target degrades to a notice instead of failing the build.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+
 # Campaign-engine equality, determinism, and partial-result tests under the
 # race detector — the fast gate for changes to internal/sim.
 test-campaign:
@@ -29,10 +35,11 @@ check: fmt
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Benchmark smoke: short measurements diffed against the committed baseline,
-# report-only (CI runners are too noisy to hard-fail on ns/op).
+# Benchmark smoke: short measurements diffed against the committed baseline.
+# Hard-fails, but only on regressions that reproduce in both measurement
+# passes (-runs 2) — single-pass noise on shared runners is exonerated.
 bench-smoke:
-	$(GO) run ./cmd/bench -mintime 50ms -out /tmp/bench_smoke.json -compare BENCH_campaign.json -report-only
+	$(GO) run ./cmd/bench -mintime 50ms -out /tmp/bench_smoke.json -compare BENCH_campaign.json -runs 2
 
 # Measure the campaign engine's hot paths on EMN and write the results as
 # machine-readable JSON (schema bpomdp.bench/v1; see DESIGN.md).

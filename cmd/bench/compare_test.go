@@ -90,3 +90,58 @@ func TestPrintComparison(t *testing.T) {
 		}
 	}
 }
+
+func TestIntersectRegressions(t *testing.T) {
+	first := []Regression{
+		{Name: "slow", Metric: "ns_per_op", Old: 100, New: 160, Ratio: 1.6},
+		{Name: "flaky", Metric: "ns_per_op", Old: 100, New: 150, Ratio: 1.5},
+		{Name: "allocs", Metric: "allocs_per_op", Old: 2, New: 3},
+	}
+	second := []Regression{
+		{Name: "slow", Metric: "ns_per_op", Old: 100, New: 140, Ratio: 1.4},
+		{Name: "allocs", Metric: "allocs_per_op", Old: 2, New: 3},
+		{Name: "other", Metric: "ns_per_op", Old: 100, New: 200, Ratio: 2},
+	}
+	got := intersectRegressions(first, second)
+	if len(got) != 2 {
+		t.Fatalf("got %d regressions %+v, want 2 (flaky exonerated, other absent from first pass)", len(got), got)
+	}
+	// The milder of the two sightings is reported.
+	if got[0].Name != "slow" || got[0].New != 140 {
+		t.Errorf("first survivor %+v, want slow at its milder 140 ns/op", got[0])
+	}
+	if got[1].Name != "allocs" || got[1].Metric != "allocs_per_op" {
+		t.Errorf("second survivor %+v, want allocs/allocs_per_op", got[1])
+	}
+}
+
+func TestIntersectRegressionsCleanPass(t *testing.T) {
+	first := []Regression{{Name: "slow", Metric: "ns_per_op", Old: 100, New: 150, Ratio: 1.5}}
+	if got := intersectRegressions(first, nil); len(got) != 0 {
+		t.Errorf("clean second pass left survivors: %+v", got)
+	}
+}
+
+func TestCompareReportsCampaignAllocSlack(t *testing.T) {
+	old := report(map[string]Entry{
+		"campaign": {NsPerOp: 1e6, AllocsPerOp: 885, Episodes: 64, AllocsPerEp: 13},
+	})
+	// Campaign allocation totals jitter with the iteration count; one
+	// alloc/episode of slack absorbs that without admitting real leaks.
+	within := report(map[string]Entry{
+		"campaign": {NsPerOp: 1e6, AllocsPerOp: 896, Episodes: 64, AllocsPerEp: 14},
+	})
+	if regs := compareReports(old, within, 0.30); len(regs) != 0 {
+		t.Errorf("one alloc/episode of growth flagged: %+v", regs)
+	}
+	leak := report(map[string]Entry{
+		"campaign": {NsPerOp: 1e6, AllocsPerOp: 960, Episodes: 64, AllocsPerEp: 15},
+	})
+	regs := compareReports(old, leak, 0.30)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_episode" {
+		t.Fatalf("two allocs/episode of growth not flagged: %+v", regs)
+	}
+	if regs[0].Old != 13 || regs[0].New != 15 {
+		t.Errorf("regression values %+v, want 13 -> 15", regs[0])
+	}
+}

@@ -21,10 +21,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +38,7 @@ import (
 	"bpomdp/internal/core"
 	"bpomdp/internal/emn"
 	"bpomdp/internal/modelload"
+	"bpomdp/internal/obs"
 	"bpomdp/internal/pomdp"
 	"bpomdp/internal/rng"
 	"bpomdp/internal/server"
@@ -63,6 +68,11 @@ func run(ctx context.Context, args []string) error {
 		checkpointDir = fs.String("checkpoint-dir", "", "persist per-episode checkpoints here; a restarted daemon resumes all open episodes")
 		episodeTTL    = fs.Duration("episode-ttl", 30*time.Minute, "evict episodes idle longer than this (0 disables abandoned-monitor GC)")
 		maxBodyBytes  = fs.Int64("max-body-bytes", 1<<20, "cap on request body size")
+
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
+		expvarOn    = fs.Bool("expvar", false, "also serve expvar under /debug/vars on the -pprof listener")
+		logRequests = fs.Bool("log-requests", false, "log every API request (method, path, status, duration) via slog")
+		tracePath   = fs.String("trace", "", "append one structured JSONL decision record per computed decision to this file (enables per-decision stats collection)")
 
 		readHeaderTimeout = fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
 		readTimeout       = fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (bounds slow-loris request bodies)")
@@ -121,6 +131,20 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	if *expvarOn && *pprofAddr == "" {
+		return fmt.Errorf("-expvar needs a -pprof listener address")
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open trace file: %w", err)
+		}
+		traceFile = f
+		defer traceFile.Close()
+		log.Printf("tracing decisions to %s (schema %s)", *tracePath, obs.TraceSchema)
+	}
+
 	var checkpointer server.Checkpointer
 	if *checkpointDir != "" {
 		cp, err := server.NewDirCheckpointer(*checkpointDir)
@@ -130,14 +154,22 @@ func run(ctx context.Context, args []string) error {
 		checkpointer = cp
 	}
 
+	// Structured tracing needs the controllers to collect per-decision
+	// stats; without -trace the flag stays off and the hot path is bare.
+	collectStats := traceFile != nil
+	var decisionTrace io.Writer
+	if traceFile != nil {
+		decisionTrace = traceFile
+	}
 	srv, err := server.New(server.Config{
-		Model:        prep.Model,
-		MaxEpisodes:  *maxEpisodes,
-		Checkpointer: checkpointer,
-		EpisodeTTL:   *episodeTTL,
-		MaxBodyBytes: *maxBodyBytes,
+		Model:         prep.Model,
+		MaxEpisodes:   *maxEpisodes,
+		Checkpointer:  checkpointer,
+		EpisodeTTL:    *episodeTTL,
+		MaxBodyBytes:  *maxBodyBytes,
+		DecisionTrace: decisionTrace,
 		NewController: func() (controller.Controller, pomdp.Belief, error) {
-			ctrl, err := prep.NewController(core.ControllerConfig{Depth: *depth, ImproveOnline: *improve})
+			ctrl, err := prep.NewController(core.ControllerConfig{Depth: *depth, ImproveOnline: *improve, CollectStats: collectStats})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -167,9 +199,13 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	var handler http.Handler = srv
+	if *logRequests {
+		handler = requestLogger(slog.Default(), handler)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -177,6 +213,24 @@ func run(ctx context.Context, args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var debugSrv *http.Server
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener so they are
+		// never exposed on the API port.
+		debugSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           debugMux(*expvarOn),
+			ReadHeaderTimeout: *readHeaderTimeout,
+		}
+		go func() {
+			log.Printf("debug listener (pprof%s) on %s", map[bool]string{true: "+expvar"}[*expvarOn], *pprofAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("serving on %s", *addr)
@@ -184,6 +238,9 @@ func run(ctx context.Context, args []string) error {
 	}()
 	select {
 	case err := <-errCh:
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
 		srv.Close()
 		return err
 	case <-ctx.Done():
@@ -193,9 +250,53 @@ func run(ctx context.Context, args []string) error {
 		// Drain in-flight requests first, then checkpoint every still-open
 		// episode so a restart resumes them.
 		shutdownErr := hs.Shutdown(shutdownCtx)
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
 		if err := srv.Close(); err != nil {
 			log.Printf("final checkpoint: %v", err)
 		}
 		return shutdownErr
 	}
+}
+
+// debugMux serves the pprof profiling endpoints (and optionally expvar)
+// without relying on http.DefaultServeMux, so nothing else registered there
+// leaks onto the debug listener.
+func debugMux(withExpvar bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if withExpvar {
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
+	return mux
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// requestLogger logs one structured line per request.
+func requestLogger(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"duration", time.Since(t0))
+	})
 }

@@ -119,3 +119,40 @@ func TestRunWithCheckpointDir(t *testing.T) {
 		t.Error("unusable checkpoint dir accepted")
 	}
 }
+
+func TestRunObservabilityFlags(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "decisions.jsonl")
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0",
+		"-model", "twoserver",
+		"-top", "10",
+		"-bootstrap", "2",
+		"-bootstrap-depth", "1",
+		"-pprof", "127.0.0.1:0",
+		"-expvar",
+		"-log-requests",
+		"-trace", trace,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The trace file is created eagerly so a bad path fails at startup.
+	if _, err := os.Stat(trace); err != nil {
+		t.Errorf("trace file not created: %v", err)
+	}
+
+	// expvar is served on the pprof listener; without one it is an error.
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "0", "-expvar",
+	}); err == nil {
+		t.Error("-expvar without -pprof accepted")
+	}
+
+	// An unwritable trace path fails at startup, not at the first decision.
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "0", "-trace", filepath.Join(trace, "not-a-dir", "t.jsonl"),
+	}); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}

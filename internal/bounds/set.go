@@ -47,11 +47,12 @@ var ErrEmptySet = errors.New("bounds: empty hyperplane set")
 // set (e.g. a pool of campaign workers evaluating the same bootstrapped
 // bound).
 type Set struct {
-	slab    []float64 // plane i is slab[i*n : (i+1)*n]
-	uses    []uint64  // accessed atomically in ValueArg/ValueBatch; plainly under mutation
-	maxLen  int       // 0 = unlimited
-	n       int       // state count
-	argPool sync.Pool // *[]int argmax scratch for ValueBatch
+	slab      []float64 // plane i is slab[i*n : (i+1)*n]
+	uses      []uint64  // accessed atomically in ValueArg/ValueBatch; plainly under mutation
+	maxLen    int       // 0 = unlimited
+	n         int       // state count
+	argPool   sync.Pool // *[]int argmax scratch for ValueBatch
+	evictions uint64    // capacity evictions performed; read atomically by Evictions
 }
 
 // NewSet creates a hyperplane set over an n-state belief space, seeded with
@@ -167,6 +168,24 @@ func (s *Set) getArgs(m int) *[]int {
 	return p
 }
 
+// Peek evaluates V_B⁻(π) without recording a use of the maximizing plane.
+// Observability callers (decision stats, bound-gap traces) use it so that
+// inspecting the bound cannot perturb least-used eviction and thereby change
+// which planes a capacity-limited set keeps.
+func (s *Set) Peek(pi pomdp.Belief) float64 {
+	best := math.Inf(-1)
+	for i := 0; i < len(s.uses); i++ {
+		if v := linalg.DotUnrolled(pi, s.row(i)); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Evictions returns the number of capacity evictions performed so far. Safe
+// to call concurrently with readers; like Size it may race with an Add.
+func (s *Set) Evictions() uint64 { return atomic.LoadUint64(&s.evictions) }
+
 // Plane returns (a copy of) hyperplane i.
 func (s *Set) Plane(i int) linalg.Vector {
 	return append(linalg.Vector(nil), s.row(i)...)
@@ -245,6 +264,7 @@ func (s *Set) evictLeastUsed() {
 		}
 	}
 	s.removeAt(victim)
+	atomic.AddUint64(&s.evictions, 1)
 }
 
 // CompactLP removes every hyperplane that is nowhere strictly above the

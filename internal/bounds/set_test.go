@@ -160,3 +160,73 @@ func TestCheckConsistencyEmptySet(t *testing.T) {
 		t.Errorf("err = %v, want ErrEmptySet", err)
 	}
 }
+
+// TestSetPeekMatchesValueWithoutUse: Peek must return exactly what Value
+// returns while leaving the least-used eviction order untouched, so stats
+// collection cannot change which planes a capacity-limited set keeps.
+func TestSetPeekMatchesValueWithoutUse(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{-10, -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCapacity(3)
+	mustAdd := func(v linalg.Vector) {
+		t.Helper()
+		if _, err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(linalg.Vector{-1, -9})
+	mustAdd(linalg.Vector{-9, -1})
+	for _, pi := range []pomdp.Belief{{1, 0}, {0, 1}, {0.5, 0.5}} {
+		if got, want := s.Peek(pi), s.Value(pi); got != want {
+			t.Errorf("Peek(%v) = %v, want Value = %v", pi, got, want)
+		}
+	}
+	// Hammer Peek on the plane that Value-touches would protect. If Peek
+	// bumped uses, plane (-9,-1) would now be the most used and survive the
+	// next eviction; it must still be evicted on usage recorded by Value.
+	s2, _ := NewSet(2, linalg.Vector{-10, -10})
+	s2.SetCapacity(3)
+	if _, err := s2.Add(linalg.Vector{-1, -9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Add(linalg.Vector{-9, -1}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Value(pomdp.Belief{1, 0}) // one real use of plane (-1,-9)
+	for i := 0; i < 100; i++ {
+		s2.Peek(pomdp.Belief{0, 1}) // would bump (-9,-1) if Peek counted
+	}
+	if _, err := s2.Add(linalg.Vector{-5, -5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Value(pomdp.Belief{0, 1}); got != -5 {
+		t.Errorf("Peek perturbed eviction: Value = %v, want -5", got)
+	}
+	if s2.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", s2.Evictions())
+	}
+}
+
+// TestSetEvictionsCounter counts capacity evictions across several Adds.
+func TestSetEvictionsCounter(t *testing.T) {
+	s, err := NewSet(2, linalg.Vector{-10, -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Evictions() != 0 {
+		t.Fatalf("fresh set Evictions = %d", s.Evictions())
+	}
+	s.SetCapacity(2)
+	planes := []linalg.Vector{{-1, -9}, {-9, -1}, {-2, -8}, {-8, -2}}
+	for _, p := range planes {
+		if _, err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2 with a protected base: every Add after the first evicts.
+	if got := s.Evictions(); got != 3 {
+		t.Errorf("Evictions = %d, want 3", got)
+	}
+}

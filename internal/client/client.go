@@ -47,9 +47,10 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // Client talks to one recovery service. It is safe for concurrent use as
 // long as the underlying http.Client is.
 type Client struct {
-	base   string
-	http   *http.Client
-	policy RetryPolicy
+	base    string
+	http    *http.Client
+	policy  RetryPolicy
+	metrics *clientMetrics // nil unless WithMetrics was applied
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -241,8 +242,11 @@ func (c *Client) do(method, path string, in, out any, idem idempotency) error {
 			}
 			slept += delay
 			c.policy.Sleep(delay)
+			if c.metrics != nil {
+				c.metrics.retries.Inc()
+			}
 		}
-		err := c.doOnce(method, path, payload, out)
+		err := c.attempt(method, path, payload, out)
 		if err == nil {
 			return nil
 		}

@@ -1,0 +1,53 @@
+package client
+
+import (
+	"time"
+
+	"bpomdp/internal/obs"
+)
+
+// clientMetrics holds the client-side instruments. A Client without
+// WithMetrics carries a nil *clientMetrics and pays a single nil check per
+// attempt.
+type clientMetrics struct {
+	requests *obs.Counter
+	retries  *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// WithMetrics instruments the client on reg: per-attempt request and error
+// counters, a retry counter, and a per-attempt latency histogram.
+// Registration is idempotent, so several clients may share one registry (and
+// a registry shared with a server, since the client series carry the
+// recoverd_client_ prefix). A nil registry leaves the client uninstrumented.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.metrics = &clientMetrics{
+			requests: reg.Counter("recoverd_client_requests_total", "HTTP attempts issued (retries counted individually)."),
+			retries:  reg.Counter("recoverd_client_retries_total", "Attempts beyond the first within one call."),
+			errors:   reg.Counter("recoverd_client_errors_total", "Attempts that ended in a transport or HTTP error."),
+			latency: reg.Histogram("recoverd_client_request_duration_seconds",
+				"Per-attempt request latency in seconds.", obs.DefLatencyBuckets),
+		}
+	}
+}
+
+// attempt wraps one doOnce call with the client's instruments; with no
+// metrics attached it is a plain call.
+func (c *Client) attempt(method, path string, payload []byte, out any) error {
+	if c.metrics == nil {
+		return c.doOnce(method, path, payload, out)
+	}
+	c.metrics.requests.Inc()
+	t0 := time.Now()
+	err := c.doOnce(method, path, payload, out)
+	c.metrics.latency.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		c.metrics.errors.Inc()
+	}
+	return err
+}

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpomdp/internal/obs"
+)
+
+// TestWithMetricsCountsAttempts: an instrumented client must account every
+// attempt — a call that fails once and succeeds on retry is two requests,
+// one retry, one error, and two latency observations.
+func TestWithMetricsCountsAttempts(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"episodeId":3}`)
+	}))
+	defer hs.Close()
+
+	reg := obs.NewRegistry()
+	c, err := New(hs.URL, hs.Client(),
+		WithMetrics(reg),
+		WithRetryPolicy(RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    time.Microsecond,
+			Sleep:       func(time.Duration) {},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := c.StartEpisode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.ID() != 3 {
+		t.Errorf("episode id %d", ep.ID())
+	}
+
+	g := reg.Gather()
+	want := map[string]float64{
+		"recoverd_client_requests_total":                 2,
+		"recoverd_client_retries_total":                  1,
+		"recoverd_client_errors_total":                   1,
+		"recoverd_client_request_duration_seconds_count": 2,
+	}
+	for series, v := range want {
+		if g[series] != v {
+			t.Errorf("%s = %v, want %v", series, g[series], v)
+		}
+	}
+}
+
+// TestWithMetricsNilRegistryIsNoOp: WithMetrics(nil) must leave the client
+// uninstrumented and fully functional.
+func TestWithMetricsNilRegistryIsNoOp(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"episodeId":1}`)
+	}))
+	defer hs.Close()
+
+	c, err := New(hs.URL, hs.Client(), WithMetrics(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.metrics != nil {
+		t.Fatal("nil registry installed metrics")
+	}
+	if _, err := c.StartEpisode(); err != nil {
+		t.Fatal(err)
+	}
+}

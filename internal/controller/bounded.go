@@ -31,6 +31,12 @@ type BoundedConfig struct {
 	// at every visited belief and fails loudly on violation. Intended for
 	// tests and audits; adds one extra backup per step.
 	CheckConsistency bool
+	// CollectStats, when true, makes the controller record DecisionStats for
+	// every decision (exposed through the StatsSource / BatchStatsSource
+	// interfaces). Off by default: the stats path costs one extra bound
+	// evaluation (Set.Peek) plus an entropy pass per decision, and the
+	// controller guarantees the decision path is unchanged when it is off.
+	CollectStats bool
 }
 
 // Bounded is the paper's bounded recovery controller: a finite-depth
@@ -49,11 +55,18 @@ type Bounded struct {
 	batchIdx []int
 	batchPis []pomdp.Belief
 	batchRes []pomdp.BackupResult
+
+	// Stats scratch, populated only with cfg.CollectStats.
+	lastStats   DecisionStats
+	statsQ      []float64       // QValues buffer behind lastStats
+	batchStats  []DecisionStats // per-belief stats of the last DecideBatch
+	batchStatsQ []float64       // flat QValues slab behind batchStats
 }
 
 var (
-	_ Controller   = (*Bounded)(nil)
-	_ BatchDecider = (*Bounded)(nil)
+	_ Controller       = (*Bounded)(nil)
+	_ BatchDecider     = (*Bounded)(nil)
+	_ BatchStatsSource = (*Bounded)(nil)
 )
 
 // NewBounded builds a bounded controller over the (already transformed)
@@ -153,14 +166,69 @@ func (b *Bounded) decideAt(pi pomdp.Belief) (Decision, error) {
 	}
 	// Recovery-notification regime: stop as soon as the belief certifies Sφ.
 	if b.cfg.TerminateAction < 0 && pi.Mass(b.nullSet) >= certainty {
-		return Decision{Terminate: true, Value: 0}, nil
+		d := Decision{Terminate: true, Value: 0}
+		if b.cfg.CollectStats {
+			b.lastStats = b.statsFor(pi, d, nil)
+		}
+		return d, nil
+	}
+	var before EngineCounters
+	if b.cfg.CollectStats {
+		before = b.engine.Counters()
 	}
 	res, err := b.engine.Choose(pi)
 	if err != nil {
 		return Decision{}, err
 	}
-	return b.toDecision(&res), nil
+	d := b.toDecision(&res)
+	if b.cfg.CollectStats {
+		after := b.engine.Counters()
+		b.statsQ = append(b.statsQ[:0], res.QValues...)
+		st := b.statsFor(pi, d, b.statsQ)
+		st.TreeNodes = after.Nodes - before.Nodes
+		st.LeafEvals = after.LeafEvals - before.LeafEvals
+		st.SlabPasses = after.SlabPasses - before.SlabPasses
+		b.lastStats = st
+	}
+	return d, nil
 }
+
+// statsFor builds the engine-counter-independent part of a DecisionStats:
+// the bound explanation (LeafBound via Set.Peek so reading it cannot perturb
+// least-used eviction, and the Property 1(b) slack BoundGap), the belief
+// entropy, and the bound-set snapshot. q, when non-nil, is aliased directly.
+func (b *Bounded) statsFor(pi pomdp.Belief, d Decision, q []float64) DecisionStats {
+	leaf := b.set.Peek(pi)
+	st := DecisionStats{
+		Action:        d.Action,
+		Terminate:     d.Terminate,
+		Value:         d.Value,
+		QValues:       q,
+		LeafBound:     leaf,
+		BoundGap:      d.Value - leaf,
+		BeliefEntropy: pi.Entropy(),
+		SetSize:       b.set.Size(),
+		SetEvictions:  b.set.Evictions(),
+	}
+	if d.Terminate && b.cfg.TerminateAction < 0 {
+		// Certainty termination has no model action behind it.
+		st.Action = -1
+	}
+	return st
+}
+
+// StatsEnabled implements StatsSource.
+func (b *Bounded) StatsEnabled() bool { return b.cfg.CollectStats }
+
+// DecisionStats implements StatsSource: the stats of the most recent Decide
+// (or of the last belief decided by a sequential-fallback DecideBatch).
+// Valid until the next decision call; only meaningful with CollectStats.
+func (b *Bounded) DecisionStats() DecisionStats { return b.lastStats }
+
+// BatchDecisionStats implements BatchStatsSource: per-belief stats of the
+// most recent DecideBatch, indexed like its pis argument. Valid until the
+// next decision call; only meaningful with CollectStats.
+func (b *Bounded) BatchDecisionStats() []DecisionStats { return b.batchStats }
 
 // toDecision converts a root backup into a Decision, applying the a_T
 // tie-break: Property 1(a) demands no free actions outside s_T, but real
@@ -193,6 +261,10 @@ func (b *Bounded) DecideBatch(pis []pomdp.Belief, out []Decision) error {
 	if len(out) < len(pis) {
 		return fmt.Errorf("controller: batch decision buffer length %d < %d beliefs", len(out), len(pis))
 	}
+	collect := b.cfg.CollectStats
+	if collect {
+		b.growBatchStats(len(pis))
+	}
 	if b.updater != nil || b.cfg.CheckConsistency {
 		for j, pi := range pis {
 			d, err := b.decideAt(pi)
@@ -200,18 +272,30 @@ func (b *Bounded) DecideBatch(pis []pomdp.Belief, out []Decision) error {
 				return fmt.Errorf("controller: batch belief %d: %w", j, err)
 			}
 			out[j] = d
+			if collect {
+				st := b.lastStats
+				st.QValues = b.retainQ(st.QValues)
+				b.batchStats[j] = st
+			}
 		}
 		return nil
 	}
 	n := b.p.NumStates()
 	b.batchIdx = b.batchIdx[:0]
 	b.batchPis = b.batchPis[:0]
+	var before EngineCounters
+	if collect {
+		before = b.engine.Counters()
+	}
 	for j, pi := range pis {
 		if len(pi) != n {
 			return fmt.Errorf("controller: batch belief %d length %d, want %d", j, len(pi), n)
 		}
 		if b.cfg.TerminateAction < 0 && pi.Mass(b.nullSet) >= certainty {
 			out[j] = Decision{Terminate: true, Value: 0}
+			if collect {
+				b.batchStats[j] = b.statsFor(pi, out[j], nil)
+			}
 			continue
 		}
 		b.batchIdx = append(b.batchIdx, j)
@@ -234,5 +318,50 @@ func (b *Bounded) DecideBatch(pis []pomdp.Belief, out []Decision) error {
 	for k, j := range b.batchIdx {
 		out[j] = b.toDecision(&b.batchRes[k])
 	}
+	if collect {
+		// One shared expansion served the whole batch: attribute the engine-
+		// counter deltas evenly across its members (remainder to the first),
+		// so summing the per-decision stats reproduces the true totals.
+		after := b.engine.Counters()
+		m := uint64(len(b.batchIdx))
+		dn, dl, ds := after.Nodes-before.Nodes, after.LeafEvals-before.LeafEvals, after.SlabPasses-before.SlabPasses
+		for k, j := range b.batchIdx {
+			st := b.statsFor(b.batchPis[k], out[j], b.batchRes[k].QValues)
+			st.TreeNodes = dn / m
+			st.LeafEvals = dl / m
+			st.SlabPasses = ds / m
+			if k == 0 {
+				st.TreeNodes += dn % m
+				st.LeafEvals += dl % m
+				st.SlabPasses += ds % m
+			}
+			b.batchStats[j] = st
+		}
+	}
 	return nil
+}
+
+// growBatchStats sizes the per-belief stats buffer and its QValues slab for
+// a DecideBatch over m beliefs. The slab is sized upfront so mid-loop
+// appends cannot reallocate it out from under earlier entries' aliases.
+func (b *Bounded) growBatchStats(m int) {
+	if cap(b.batchStats) < m {
+		b.batchStats = make([]DecisionStats, m)
+	}
+	b.batchStats = b.batchStats[:m]
+	need := m * b.p.NumActions()
+	if cap(b.batchStatsQ) < need {
+		b.batchStatsQ = make([]float64, 0, need)
+	}
+	b.batchStatsQ = b.batchStatsQ[:0]
+}
+
+// retainQ copies q into the batch QValues slab and returns the stable view.
+func (b *Bounded) retainQ(q []float64) []float64 {
+	if q == nil {
+		return nil
+	}
+	start := len(b.batchStatsQ)
+	b.batchStatsQ = append(b.batchStatsQ, q...)
+	return b.batchStatsQ[start:len(b.batchStatsQ):len(b.batchStatsQ)]
 }

@@ -31,6 +31,8 @@ type Engine struct {
 
 	levels   []*batchLevel // reusable per-depth expansion state
 	rootVals []float64     // root value scratch for ChooseBatch
+
+	ctr EngineCounters // monotone work counters; see Counters
 }
 
 // batchLevel is the reusable state of one tree level of a batched
@@ -66,9 +68,15 @@ func NewEngine(p *pomdp.POMDP, depth int, beta float64, leaf pomdp.ValueFn) (*En
 // Depth returns the expansion depth.
 func (e *Engine) Depth() int { return e.depth }
 
+// Counters snapshots the engine's monotone work counters. Stats collection
+// differences two snapshots around a decision; the counters are plain fields,
+// valid only from the goroutine driving the engine.
+func (e *Engine) Counters() EngineCounters { return e.ctr }
+
 // Choose expands the tree at belief π and returns the root backup: the
 // maximizing action, its value, and all root Q-values.
 func (e *Engine) Choose(pi pomdp.Belief) (pomdp.BackupResult, error) {
+	e.ctr.Nodes++
 	return pomdp.Backup(e.p, e.sc, pi, e.beta, pomdp.ValueFunc(func(b pomdp.Belief) float64 {
 		return e.evaluate(b, e.depth-1)
 	}))
@@ -115,8 +123,10 @@ func (e *Engine) Value(pi pomdp.Belief) (float64, error) {
 // beliefs are freshly allocated.
 func (e *Engine) evaluate(pi pomdp.Belief, remaining int) float64 {
 	if remaining == 0 {
+		e.ctr.LeafEvals++
 		return e.leaf.Value(pi)
 	}
+	e.ctr.Nodes++
 	res, err := pomdp.Backup(e.p, e.sc, pi, e.beta, pomdp.ValueFunc(func(b pomdp.Belief) float64 {
 		return e.evaluate(b, remaining-1)
 	}))
@@ -150,6 +160,7 @@ func (e *Engine) level(lvl int) *batchLevel {
 func (e *Engine) expand(lvl, remaining int, pis []pomdp.Belief, vals []float64, res []pomdp.BackupResult) {
 	f := e.level(lvl)
 	m := len(pis)
+	e.ctr.Nodes += uint64(m)
 	if cap(f.q) < m {
 		f.q = make([]float64, m)
 		f.counts = make([]int, m)
@@ -209,7 +220,9 @@ func (e *Engine) expand(lvl, remaining int, pis []pomdp.Belief, vals []float64, 
 // leafValues evaluates the leaf bound over a frontier, batched when the
 // leaf supports it.
 func (e *Engine) leafValues(pis []pomdp.Belief, out []float64) {
+	e.ctr.LeafEvals += uint64(len(pis))
 	if e.batchLeaf != nil {
+		e.ctr.SlabPasses++
 		e.batchLeaf.ValueBatch(pis, out)
 		return
 	}

@@ -1,0 +1,70 @@
+package controller
+
+// EngineCounters are the Engine's monotone work counters. The counters are
+// plain (non-atomic) fields bumped unconditionally on the expansion paths —
+// an increment per Backup is noise next to the backup itself — and are read
+// by differencing snapshots around a decision, so they are meaningful only
+// from the single goroutine driving the engine.
+type EngineCounters struct {
+	// Nodes counts belief nodes expanded (Backup applications).
+	Nodes uint64
+	// LeafEvals counts leaf-bound evaluations at the tree frontier.
+	LeafEvals uint64
+	// SlabPasses counts batched ValueBatch passes over the hyperplane slab.
+	SlabPasses uint64
+}
+
+// DecisionStats explains one recovery decision: the chosen action and its
+// bound-backed value, the per-action Q-values behind the argmax, the gap
+// between the tree-backed value and the stored hyperplane bound (Property
+// 1(b)'s slack — zero means the stored bound is already tight at this
+// belief, so deeper expansion bought nothing), the belief entropy at
+// decision time, and the work the Max-Avg expansion performed.
+//
+// QValues, when present, aliases a buffer owned by the controller that is
+// reused by the next Decide/DecideBatch call; copy it to retain it.
+type DecisionStats struct {
+	Action    int
+	Terminate bool
+	Value     float64
+	QValues   []float64
+
+	// LeafBound is V_B⁻(π) at the decision belief (via Set.Peek, so reading
+	// it does not perturb least-used eviction); BoundGap = Value − LeafBound.
+	LeafBound float64
+	BoundGap  float64
+	// BeliefEntropy is the Shannon entropy (nats) of the decision belief.
+	BeliefEntropy float64
+
+	// TreeNodes, LeafEvals and SlabPasses are the engine-counter deltas
+	// attributable to this decision. For a batched decision the batch's
+	// totals are attributed evenly across its expanded members (remainder to
+	// the first), so summing over the batch is exact.
+	TreeNodes  uint64
+	LeafEvals  uint64
+	SlabPasses uint64
+
+	// SetSize and SetEvictions snapshot the bound set at decision time.
+	SetSize      int
+	SetEvictions uint64
+}
+
+// StatsSource is implemented by controllers that can explain their
+// decisions. StatsEnabled reports whether collection is configured —
+// callers (campaign runners, trace recorders) check it once per episode and
+// skip the stats path entirely when it is off, which is what keeps
+// instrumented builds free on the hot path. DecisionStats returns the stats
+// of the most recent Decide; it is only meaningful when StatsEnabled.
+type StatsSource interface {
+	StatsEnabled() bool
+	DecisionStats() DecisionStats
+}
+
+// BatchStatsSource extends StatsSource for batch deciders:
+// BatchDecisionStats returns per-belief stats of the most recent
+// DecideBatch, indexed like its pis/out arguments and valid until the next
+// decision call.
+type BatchStatsSource interface {
+	StatsSource
+	BatchDecisionStats() []DecisionStats
+}

@@ -314,6 +314,10 @@ type ControllerConfig struct {
 	ImproveOnline bool
 	// CheckConsistency verifies Property 1(b) at every visited belief.
 	CheckConsistency bool
+	// CollectStats records per-decision DecisionStats (bound gap, belief
+	// entropy, expansion work) for structured tracing and campaign
+	// aggregation. Off by default; the decision path is unchanged when off.
+	CollectStats bool
 }
 
 // NewController builds the bounded recovery controller over the prepared
@@ -326,6 +330,7 @@ func (p *Prepared) NewController(cfg ControllerConfig) (*controller.Bounded, err
 		NullStates:       p.Source.NullStates,
 		ImproveOnline:    cfg.ImproveOnline,
 		CheckConsistency: cfg.CheckConsistency,
+		CollectStats:     cfg.CollectStats,
 	})
 }
 

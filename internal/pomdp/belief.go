@@ -77,6 +77,20 @@ func (b Belief) Mass(states []int) float64 {
 	return m
 }
 
+// Entropy returns the Shannon entropy of the belief in nats: −Σ π(s)·ln π(s)
+// with 0·ln 0 = 0. It is maximal (ln n) at the uniform belief and zero at a
+// vertex of the simplex — the decision-trace layer records it as a measure
+// of how much diagnostic ambiguity the controller decided under.
+func (b Belief) Entropy() float64 {
+	var h float64
+	for _, p := range b {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
 // MostLikely returns the state with maximum probability and that probability.
 func (b Belief) MostLikely() (state int, prob float64) {
 	p, s := linalg.Vector(b).Max()

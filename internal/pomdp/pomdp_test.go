@@ -340,3 +340,18 @@ func TestUpdateStaysOnSimplex(t *testing.T) {
 		}
 	}
 }
+
+func TestBeliefEntropy(t *testing.T) {
+	if got := PointBelief(4, 2).Entropy(); got != 0 {
+		t.Errorf("point-belief entropy = %v, want 0", got)
+	}
+	if got, want := UniformBelief(8).Entropy(), math.Log(8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want ln 8 = %v", got, want)
+	}
+	// Mixed belief: −Σ p ln p computed by hand.
+	b := Belief{0.5, 0.25, 0.25, 0}
+	want := -(0.5*math.Log(0.5) + 2*0.25*math.Log(0.25))
+	if got := b.Entropy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("entropy = %v, want %v", got, want)
+	}
+}

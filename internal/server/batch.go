@@ -101,7 +101,7 @@ func (s *Server) handleBatchDecide(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Decisions[i] = dr
 	}
-	s.batchRequests.Add(1)
-	s.batchDecisions.Add(uint64(len(decisions)))
+	s.m.batchRequests.Inc()
+	s.m.batchDecisions.Add(uint64(len(decisions)))
 	writeJSON(w, http.StatusOK, resp)
 }

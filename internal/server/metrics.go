@@ -1,0 +1,74 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"bpomdp/internal/obs"
+)
+
+// serverMetrics holds the server's registry-backed instruments. Every series
+// the hand-rolled /metrics used to expose keeps its exact name; the registry
+// adds HELP/TYPE metadata and per-handler request-latency histograms.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	started          *obs.Counter
+	terminated       *obs.Counter
+	evicted          *obs.Counter
+	resumed          *obs.Counter
+	decisions        *obs.Counter
+	observed         *obs.Counter
+	dedupedStarts    *obs.Counter
+	dedupedObs       *obs.Counter
+	batchRequests    *obs.Counter
+	batchDecisions   *obs.Counter
+	panics           *obs.Counter
+	checkpointErrors *obs.Counter
+
+	latStart   *obs.Histogram
+	latObserve *obs.Histogram
+	latDecide  *obs.Histogram
+	latBatch   *obs.Histogram
+}
+
+// newServerMetrics registers the server's instruments on reg. Registration
+// is idempotent per (name, labels), so a registry shared across components
+// is fine.
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	lat := func(handler string) *obs.Histogram {
+		return reg.Histogram("recoverd_request_duration_seconds",
+			"Request latency in seconds by handler.",
+			obs.DefLatencyBuckets, obs.Label{Key: "handler", Value: handler})
+	}
+	return &serverMetrics{
+		reg:              reg,
+		started:          reg.Counter("recoverd_episodes_started_total", "Episodes started."),
+		terminated:       reg.Counter("recoverd_episodes_terminated_total", "Episodes ended by a terminate decision."),
+		evicted:          reg.Counter("recoverd_episodes_evicted_total", "Idle episodes evicted by the TTL janitor."),
+		resumed:          reg.Counter("recoverd_episodes_resumed_total", "Episodes resumed from checkpoints at startup."),
+		decisions:        reg.Counter("recoverd_decisions_total", "Decisions computed (cached retries excluded)."),
+		observed:         reg.Counter("recoverd_observations_total", "Observations applied."),
+		dedupedStarts:    reg.Counter("recoverd_deduped_starts_total", "Duplicate episode starts answered from the idempotency key."),
+		dedupedObs:       reg.Counter("recoverd_deduped_observations_total", "Retransmitted observations acknowledged without reapplying."),
+		batchRequests:    reg.Counter("recoverd_batch_decide_requests_total", "Batch decide requests served."),
+		batchDecisions:   reg.Counter("recoverd_batch_decisions_total", "Decisions served by the batch endpoint."),
+		panics:           reg.Counter("recoverd_panics_total", "Handler panics converted to 500 responses."),
+		checkpointErrors: reg.Counter("recoverd_checkpoint_errors_total", "Checkpoint save/delete failures."),
+		latStart:         lat("start"),
+		latObserve:       lat("observe"),
+		latDecide:        lat("decide"),
+		latBatch:         lat("batch"),
+	}
+}
+
+// timed wraps a handler with a latency observation. It uses the real clock
+// (not the test-injectable cfg.now), since latency is a measurement, not
+// episode bookkeeping.
+func timed(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		fn(w, r)
+		h.Observe(time.Since(t0).Seconds())
+	}
+}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +16,7 @@ import (
 	"bpomdp/internal/controller"
 	"bpomdp/internal/core"
 	"bpomdp/internal/models"
+	"bpomdp/internal/obs"
 	"bpomdp/internal/pomdp"
 	"bpomdp/internal/rng"
 )
@@ -313,8 +316,8 @@ func TestDecisionCachedPerStep(t *testing.T) {
 	if string(first) != string(second) {
 		t.Errorf("retried decision differs:\n%s\n%s", first, second)
 	}
-	if srv.decisions.Load() != 1 {
-		t.Errorf("decisions_total = %d, want 1 (second call must be served from cache)", srv.decisions.Load())
+	if srv.m.decisions.Value() != 1 {
+		t.Errorf("decisions_total = %d, want 1 (second call must be served from cache)", srv.m.decisions.Value())
 	}
 }
 
@@ -425,5 +428,319 @@ func TestTTLEviction(t *testing.T) {
 	}
 	if !strings.Contains(metricsBody(t, hs.URL), "recoverd_episodes_evicted_total 1") {
 		t.Error("episodes_evicted_total not incremented")
+	}
+}
+
+// metricValue extracts one exact series value from a /metrics body.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: unparsable value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in metrics body:\n%s", series, body)
+	return 0
+}
+
+// batchBuckets parses the batch handler's latency-histogram bucket series
+// from a /metrics body, in rendered (ascending-le) order.
+func batchBuckets(t *testing.T, body string) []float64 {
+	t.Helper()
+	const prefix = `recoverd_request_duration_seconds_bucket{handler="batch",le="`
+	var out []float64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		i := strings.LastIndex(line, " ")
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		t.Fatalf("no batch-handler bucket series in metrics body:\n%s", body)
+	}
+	return out
+}
+
+// TestMetricsConcurrentWithBatchDecides: scraping /metrics while batch
+// decides hammer the registry must be race-free (this test is the -race
+// probe for the shared registry), every scrape must show cumulative bucket
+// counts that never move backwards across scrapes, and once the writers
+// quiesce the histogram count must equal the batch request counter and the
+// batch decision counter must equal requests times batch width.
+func TestMetricsConcurrentWithBatchDecides(t *testing.T) {
+	srv, prep := newBatchTestServer(t, nil)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	n := prep.Model.NumStates()
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1 / float64(n)
+	}
+	req := BatchDecideRequest{Beliefs: [][]float64{uniform, uniform, uniform}}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, posts = 4, 12
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < posts; i++ {
+				resp, err := http.Post(hs.URL+"/v1/decide/batch", "application/json", strings.NewReader(string(payload)))
+				if err != nil {
+					t.Errorf("batch post: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	var prev []float64
+scrape:
+	for {
+		body := metricsBody(t, hs.URL)
+		got := batchBuckets(t, body)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("bucket counts not cumulative within a scrape: %v", got)
+			}
+		}
+		if len(prev) == len(got) {
+			for i := range got {
+				if got[i] < prev[i] {
+					t.Fatalf("bucket %d moved backwards across scrapes: %v -> %v", i, prev, got)
+				}
+			}
+		}
+		prev = got
+		select {
+		case <-done:
+			break scrape
+		default:
+		}
+	}
+
+	body := metricsBody(t, hs.URL)
+	requests := metricValue(t, body, "recoverd_batch_decide_requests_total")
+	if requests != writers*posts {
+		t.Errorf("batch request counter %v, want %d", requests, writers*posts)
+	}
+	hcount := metricValue(t, body, `recoverd_request_duration_seconds_count{handler="batch"}`)
+	if hcount != requests {
+		t.Errorf("batch latency histogram count %v does not match request counter %v", hcount, requests)
+	}
+	final := batchBuckets(t, body)
+	if inf := final[len(final)-1]; inf != hcount {
+		t.Errorf("le=+Inf bucket %v does not match histogram count %v", inf, hcount)
+	}
+	decided := metricValue(t, body, "recoverd_batch_decisions_total")
+	if want := requests * float64(len(req.Beliefs)); decided != want {
+		t.Errorf("batch decision counter %v, want %v", decided, want)
+	}
+}
+
+// TestMetricsSeriesPreserved: the registry-rendered /metrics must keep every
+// series name the hand-rolled exporter exposed, serve the open-episode count
+// from the registry gauge, and expose a latency histogram per instrumented
+// handler once each has served a request.
+func TestMetricsSeriesPreserved(t *testing.T) {
+	srv, prep := newBatchTestServer(t, nil)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	// One request through each instrumented handler.
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(hs.URL + "/v1/episodes/1/decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d DecisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	model := prep.Model
+	succs := model.Successors(pomdp.NewScratch(model), pomdp.PointBelief(model.NumStates(), 0), d.Action)
+	body := fmt.Sprintf(`{"action":%d,"observation":%d}`, d.Action, succs[0].Obs)
+	resp, err = http.Post(hs.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	n := model.NumStates()
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1 / float64(n)
+	}
+	payload, err := json.Marshal(BatchDecideRequest{Beliefs: [][]float64{uniform}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(hs.URL+"/v1/decide/batch", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mb := metricsBody(t, hs.URL)
+	legacy := []string{
+		"recoverd_episodes_started_total",
+		"recoverd_episodes_terminated_total",
+		"recoverd_episodes_evicted_total",
+		"recoverd_episodes_resumed_total",
+		"recoverd_decisions_total",
+		"recoverd_observations_total",
+		"recoverd_deduped_starts_total",
+		"recoverd_deduped_observations_total",
+		"recoverd_batch_decide_requests_total",
+		"recoverd_batch_decisions_total",
+		"recoverd_panics_total",
+		"recoverd_checkpoint_errors_total",
+	}
+	for _, name := range legacy {
+		if !strings.Contains(mb, "\n"+name+" ") {
+			t.Errorf("legacy series %s missing from /metrics", name)
+		}
+	}
+	if got := metricValue(t, mb, "recoverd_episodes_open"); got != float64(srv.OpenEpisodes()) {
+		t.Errorf("recoverd_episodes_open %v, want %d", got, srv.OpenEpisodes())
+	}
+	if !strings.Contains(mb, "# TYPE recoverd_request_duration_seconds histogram") {
+		t.Error("latency histogram family missing TYPE header")
+	}
+	for _, h := range []string{"start", "decide", "observe", "batch"} {
+		series := fmt.Sprintf(`recoverd_request_duration_seconds_count{handler=%q}`, h)
+		if got := metricValue(t, mb, series); got < 1 {
+			t.Errorf("handler %s latency histogram count %v, want >= 1", h, got)
+		}
+	}
+}
+
+// TestDecisionTraceRoundTrip: with DecisionTrace set and a stats-collecting
+// controller, the server must emit one schema-tagged JSONL record per
+// freshly computed decision — cached retries must not re-record — and the
+// records must round-trip through obs.DecodeTrace with the bound-gap
+// explanation populated.
+func TestDecisionTraceRoundTrip(t *testing.T) {
+	prep := testPrepared(t)
+	var buf bytes.Buffer
+	srv, err := New(Config{
+		Model: prep.Model,
+		NewController: func() (controller.Controller, pomdp.Belief, error) {
+			ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1, CollectStats: true})
+			if err != nil {
+				return nil, nil, err
+			}
+			initial, err := prep.InitialBelief()
+			return ctrl, initial, err
+		},
+		DecisionTrace: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	model := prep.Model
+	sc := pomdp.NewScratch(model)
+	fresh := 0
+	terminated := false
+	for step := 0; step < 50 && !terminated; step++ {
+		var d DecisionResponse
+		// Two GETs per step: the second is served from the cache and must
+		// not add a trace record.
+		for i := 0; i < 2; i++ {
+			resp, err := http.Get(hs.URL + "/v1/episodes/1/decision")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		fresh++
+		if d.Terminate {
+			terminated = true
+			break
+		}
+		succs := model.Successors(sc, pomdp.PointBelief(model.NumStates(), 0), d.Action)
+		body := fmt.Sprintf(`{"action":%d,"observation":%d}`, d.Action, succs[0].Obs)
+		or, err := http.Post(hs.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		or.Body.Close()
+	}
+	if !terminated {
+		t.Fatal("episode did not terminate")
+	}
+
+	recs, err := obs.DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != fresh {
+		t.Fatalf("%d trace records for %d fresh decisions (cached retries must not re-record)", len(recs), fresh)
+	}
+	na := model.NumActions()
+	for i, rec := range recs {
+		if rec.Episode != 1 {
+			t.Errorf("record %d: episode %d, want 1", i, rec.Episode)
+		}
+		if rec.Step != i {
+			t.Errorf("record %d: step %d, want %d", i, rec.Step, i)
+		}
+		if rec.BoundGap < -1e-9 {
+			t.Errorf("record %d: bound gap %v < 0 violates Property 1(b)", i, rec.BoundGap)
+		}
+		if rec.BeliefEntropy < 0 {
+			t.Errorf("record %d: negative belief entropy %v", i, rec.BeliefEntropy)
+		}
+		if len(rec.QValues) != na {
+			t.Errorf("record %d: %d q-values, want %d", i, len(rec.QValues), na)
+		}
+		if rec.Action >= 0 && rec.ActionName == "" {
+			t.Errorf("record %d: action %d has no name", i, rec.Action)
+		}
+		if !rec.Terminate && rec.TreeNodes == 0 {
+			t.Errorf("record %d: non-terminal decision reports zero tree nodes", i)
+		}
+	}
+	last := recs[len(recs)-1]
+	if !last.Terminate {
+		t.Error("final trace record is not the terminal decision")
 	}
 }

@@ -56,14 +56,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"bpomdp/internal/controller"
+	"bpomdp/internal/obs"
 	"bpomdp/internal/pomdp"
 )
 
@@ -101,6 +102,16 @@ type Config struct {
 	// RetryAfter is the Retry-After hint returned with 429 responses when
 	// MaxEpisodes is hit (0 means 1 second).
 	RetryAfter time.Duration
+	// Metrics, when non-nil, is the registry the server registers its
+	// instruments on — share one registry to co-expose several components on
+	// one /metrics page. Nil creates a private registry.
+	Metrics *obs.Registry
+	// DecisionTrace, when non-nil, receives one structured JSONL
+	// obs.DecisionRecord per freshly computed decision (cached retries are
+	// not re-recorded). When the episode controllers collect DecisionStats,
+	// records carry the full bound-gap explanation. The writer need not be
+	// synchronized; records are serialized internally.
+	DecisionTrace io.Writer
 	// now overrides time.Now in tests.
 	now func() time.Time
 }
@@ -128,21 +139,14 @@ type Server struct {
 	// restore) or while tests poke at the report.
 	restored RestoreReport
 
-	started        atomic.Uint64
-	terminated     atomic.Uint64
-	decisions      atomic.Uint64
-	observed       atomic.Uint64
-	evicted        atomic.Uint64
-	panics         atomic.Uint64
-	dedupedStarts  atomic.Uint64
-	dedupedObs     atomic.Uint64
-	batchRequests  atomic.Uint64
-	batchDecisions atomic.Uint64
+	// m holds the registry-backed instruments behind /metrics.
+	m *serverMetrics
+	// trace, when non-nil, receives structured decision records.
+	trace *obs.TraceWriter
 
 	// batchPool recycles batch deciders across /v1/decide/batch requests so
 	// the steady state builds no controllers.
-	batchPool        sync.Pool
-	checkpointErrors atomic.Uint64
+	batchPool sync.Pool
 }
 
 // episode is one live episode. Its mutex serializes controller access and
@@ -231,27 +235,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
 		episodes:   make(map[uint64]*episode),
 		byKey:      make(map[string]uint64),
 		tombstones: make(map[uint64]*tombstone),
+		m:          newServerMetrics(reg),
 	}
+	if cfg.DecisionTrace != nil {
+		s.trace = obs.NewTraceWriter(cfg.DecisionTrace)
+	}
+	// The open-episode gauge is computed at scrape time from the episode
+	// table, so /metrics and OpenEpisodes always agree — one source.
+	reg.GaugeFunc("recoverd_episodes_open", "Currently open episodes.",
+		func() float64 { return float64(s.OpenEpisodes()) })
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
-	s.mux.HandleFunc("POST /v1/episodes", s.handleStart)
+	s.mux.HandleFunc("POST /v1/episodes", timed(s.m.latStart, s.handleStart))
 	s.mux.HandleFunc("GET /v1/episodes/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/episodes/{id}/decision", s.handleDecision)
-	s.mux.HandleFunc("POST /v1/episodes/{id}/observations", s.handleObservation)
+	s.mux.HandleFunc("GET /v1/episodes/{id}/decision", timed(s.m.latDecide, s.handleDecision))
+	s.mux.HandleFunc("POST /v1/episodes/{id}/observations", timed(s.m.latObserve, s.handleObservation))
 	s.mux.HandleFunc("GET /v1/episodes/{id}/belief", s.handleBelief)
 	s.mux.HandleFunc("DELETE /v1/episodes/{id}", s.handleDelete)
 	if cfg.NewBatchDecider != nil {
-		s.mux.HandleFunc("POST /v1/decide/batch", s.handleBatchDecide)
+		s.mux.HandleFunc("POST /v1/decide/batch", timed(s.m.latBatch, s.handleBatchDecide))
 	}
 	if cfg.Checkpointer != nil {
 		s.restore()
+		s.m.resumed.Add(uint64(s.restored.Resumed))
 	}
 	if cfg.EpisodeTTL > 0 {
 		s.janitorStop = make(chan struct{})
@@ -337,7 +354,7 @@ func (s *Server) Restored() RestoreReport {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if rec := recover(); rec != nil && rec != http.ErrAbortHandler {
-			s.panics.Add(1)
+			s.m.panics.Inc()
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", rec))
 		}
 	}()
@@ -430,10 +447,10 @@ func (s *Server) Sweep() int {
 	s.mu.Unlock()
 
 	for _, ep := range expired {
-		s.evicted.Add(1)
+		s.m.evicted.Inc()
 		if s.cfg.Checkpointer != nil {
 			if err := s.cfg.Checkpointer.Delete(ep.id); err != nil {
-				s.checkpointErrors.Add(1)
+				s.m.checkpointErrors.Inc()
 			}
 		}
 	}
@@ -506,24 +523,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	resumed := s.restored.Resumed
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "recoverd_episodes_started_total %d\n", s.started.Load())
-	fmt.Fprintf(w, "recoverd_episodes_terminated_total %d\n", s.terminated.Load())
-	fmt.Fprintf(w, "recoverd_episodes_evicted_total %d\n", s.evicted.Load())
-	fmt.Fprintf(w, "recoverd_episodes_resumed_total %d\n", resumed)
-	fmt.Fprintf(w, "recoverd_decisions_total %d\n", s.decisions.Load())
-	fmt.Fprintf(w, "recoverd_observations_total %d\n", s.observed.Load())
-	fmt.Fprintf(w, "recoverd_deduped_starts_total %d\n", s.dedupedStarts.Load())
-	fmt.Fprintf(w, "recoverd_deduped_observations_total %d\n", s.dedupedObs.Load())
-	fmt.Fprintf(w, "recoverd_batch_decide_requests_total %d\n", s.batchRequests.Load())
-	fmt.Fprintf(w, "recoverd_batch_decisions_total %d\n", s.batchDecisions.Load())
-	fmt.Fprintf(w, "recoverd_panics_total %d\n", s.panics.Load())
-	fmt.Fprintf(w, "recoverd_checkpoint_errors_total %d\n", s.checkpointErrors.Load())
-	fmt.Fprintf(w, "recoverd_episodes_open %d\n", s.OpenEpisodes())
+	_ = s.m.reg.WritePrometheus(w)
 }
+
+// Metrics returns the registry the server's instruments live on.
+func (s *Server) Metrics() *obs.Registry { return s.m.reg }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	m := s.cfg.Model
@@ -558,7 +563,7 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	if req.ClientKey != "" {
 		if id, ok := s.byKey[req.ClientKey]; ok {
 			s.mu.Unlock()
-			s.dedupedStarts.Add(1)
+			s.m.dedupedStarts.Inc()
 			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: id})
 			return
 		}
@@ -589,7 +594,7 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		// A concurrent duplicate may have won the race while the factory ran.
 		if existing, ok := s.byKey[req.ClientKey]; ok {
 			s.mu.Unlock()
-			s.dedupedStarts.Add(1)
+			s.m.dedupedStarts.Inc()
 			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: existing})
 			return
 		}
@@ -597,7 +602,7 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	}
 	s.episodes[id] = ep
 	s.mu.Unlock()
-	s.started.Add(1)
+	s.m.started.Inc()
 	s.checkpoint(ep)
 	writeJSON(w, http.StatusCreated, StartResponse{EpisodeID: id})
 }
@@ -683,11 +688,40 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 	}
 	ep.lastDecision = &resp
 	ep.lastActive = s.cfg.now()
+	var rec *obs.DecisionRecord
+	if s.trace != nil {
+		// Build the record under ep.mu (the stats buffers are reused by the
+		// episode's next decision) and write it after unlocking.
+		rec = &obs.DecisionRecord{
+			Episode:    id,
+			Step:       ep.steps,
+			Action:     d.Action,
+			ActionName: resp.ActionName,
+			Terminate:  d.Terminate,
+			Value:      d.Value,
+		}
+		if ss, ok := ep.ctrl.(controller.StatsSource); ok && ss.StatsEnabled() {
+			st := ss.DecisionStats()
+			rec.Action = st.Action
+			rec.QValues = append([]float64(nil), st.QValues...)
+			rec.LeafBound = st.LeafBound
+			rec.BoundGap = st.BoundGap
+			rec.BeliefEntropy = st.BeliefEntropy
+			rec.TreeNodes = st.TreeNodes
+			rec.LeafEvals = st.LeafEvals
+			rec.SlabPasses = st.SlabPasses
+			rec.SetSize = st.SetSize
+			rec.SetEvictions = st.SetEvictions
+		}
+	}
 	ep.mu.Unlock()
-	s.decisions.Add(1)
+	if rec != nil {
+		_ = s.trace.Write(rec)
+	}
+	s.m.decisions.Inc()
 
 	if d.Terminate {
-		s.terminated.Add(1)
+		s.m.terminated.Inc()
 		s.mu.Lock()
 		delete(s.episodes, id)
 		if ep.clientKey != "" {
@@ -698,7 +732,7 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		if s.cfg.Checkpointer != nil {
 			if err := s.cfg.Checkpointer.Delete(id); err != nil {
-				s.checkpointErrors.Add(1)
+				s.m.checkpointErrors.Inc()
 			}
 		}
 	}
@@ -765,7 +799,7 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 			// without applying it twice.
 			ep.lastActive = s.cfg.now()
 			ep.mu.Unlock()
-			s.dedupedObs.Add(1)
+			s.m.dedupedObs.Inc()
 			w.WriteHeader(http.StatusNoContent)
 			return
 		case *req.StepIndex > ep.steps:
@@ -792,7 +826,7 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 	st := ep.snapshotLocked()
 	ep.mu.Unlock()
 
-	s.observed.Add(1)
+	s.m.observed.Inc()
 	s.checkpointState(st)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -821,7 +855,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if s.cfg.Checkpointer != nil {
 		if err := s.cfg.Checkpointer.Delete(id); err != nil {
-			s.checkpointErrors.Add(1)
+			s.m.checkpointErrors.Inc()
 		}
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -857,7 +891,7 @@ func (s *Server) checkpointState(st EpisodeState) {
 		return
 	}
 	if err := s.cfg.Checkpointer.Save(st); err != nil {
-		s.checkpointErrors.Add(1)
+		s.m.checkpointErrors.Inc()
 	}
 }
 

@@ -120,6 +120,12 @@ func (r *Runner) runWorkerBatched(w, workers int, ctrl controller.Controller, in
 	}
 	out.Name = name
 
+	// Batched decision-stat collection, resolved once per worker.
+	var bss controller.BatchStatsSource
+	if s, ok := bd.(controller.BatchStatsSource); ok && s.StatsEnabled() {
+		bss = s
+	}
+
 	batch := opts.BatchSize
 	obsAction := r.rm.MonitorAction
 	live := make([]*batchEpisode, 0, batch)
@@ -233,6 +239,12 @@ func (r *Runner) runWorkerBatched(w, workers int, ctrl controller.Controller, in
 			}
 			live = live[:0]
 			continue
+		}
+		if bss != nil {
+			sts := bss.BatchDecisionStats()
+			for k, e := range live {
+				e.res.addStats(sts[k])
+			}
 		}
 
 		kept = live[:0]

@@ -25,6 +25,14 @@ type CampaignResult struct {
 	Abandoned int
 	// Per-fault metric accumulators.
 	Cost, RecoveryTime, ResidualTime, AlgoTimeMs, Actions, MonitorCalls stats.Accumulator
+
+	// Decision-stat aggregates, non-zero only when the campaign's
+	// controllers collect per-decision stats: total decisions covered, the
+	// Max-Avg expansion work they performed, and per-episode means of the
+	// bound gap (Property 1(b) slack) and decision-time belief entropy.
+	Decisions                        int
+	TreeNodes, LeafEvals, SlabPasses uint64
+	BoundGap, BeliefEntropy          stats.Accumulator
 }
 
 // add folds one successful episode into the aggregate.
@@ -39,6 +47,14 @@ func (c *CampaignResult) add(res EpisodeResult) {
 	c.AlgoTimeMs.Add(float64(res.AlgoTime) / float64(time.Millisecond))
 	c.Actions.Add(float64(res.Actions))
 	c.MonitorCalls.Add(float64(res.MonitorCalls))
+	if res.Decisions > 0 {
+		c.Decisions += res.Decisions
+		c.TreeNodes += res.TreeNodes
+		c.LeafEvals += res.LeafEvals
+		c.SlabPasses += res.SlabPasses
+		c.BoundGap.Add(res.BoundGapSum / float64(res.Decisions))
+		c.BeliefEntropy.Add(res.EntropySum / float64(res.Decisions))
+	}
 }
 
 // merge folds another worker's aggregate into c (exact parallel-variance
@@ -56,6 +72,12 @@ func (c *CampaignResult) merge(o *CampaignResult) {
 	c.AlgoTimeMs.Merge(&o.AlgoTimeMs)
 	c.Actions.Merge(&o.Actions)
 	c.MonitorCalls.Merge(&o.MonitorCalls)
+	c.Decisions += o.Decisions
+	c.TreeNodes += o.TreeNodes
+	c.LeafEvals += o.LeafEvals
+	c.SlabPasses += o.SlabPasses
+	c.BoundGap.Merge(&o.BoundGap)
+	c.BeliefEntropy.Merge(&o.BeliefEntropy)
 }
 
 // ControllerFactory builds an independent controller (and its initial

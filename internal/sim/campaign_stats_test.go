@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+// statsBounded builds an independent stats-collecting Bounded controller.
+func statsBounded(t *testing.T, rm *core.RecoveryModel) (*controller.Bounded, pomdp.Belief) {
+	t.Helper()
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := prep.InitialBelief()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, initial
+}
+
+// TestCampaignAggregatesDecisionStats: a campaign over stats-collecting
+// controllers must surface decision totals and sane bound-gap / entropy
+// summaries, and a campaign over plain controllers must leave them zero.
+func TestCampaignAggregatesDecisionStats(t *testing.T) {
+	rm, _ := twoServerRecovery(t)
+	runner, err := NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, initial := statsBounded(t, rm)
+	res, err := runner.RunCampaign(ctrl, initial, []int{1, 2}, 32, rng.New(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions == 0 {
+		t.Fatal("stats-collecting campaign reported zero decisions")
+	}
+	if res.TreeNodes == 0 || res.LeafEvals == 0 {
+		t.Errorf("work totals dead: nodes=%d leaves=%d", res.TreeNodes, res.LeafEvals)
+	}
+	if res.BoundGap.N() != res.Episodes || res.BeliefEntropy.N() != res.Episodes {
+		t.Errorf("gap/entropy accumulators hold %d/%d samples, want %d episodes",
+			res.BoundGap.N(), res.BeliefEntropy.N(), res.Episodes)
+	}
+	if res.BoundGap.Mean() < 0 {
+		t.Errorf("mean bound gap %v < 0 violates Property 1(b)", res.BoundGap.Mean())
+	}
+	maxEnt := math.Log(float64(ctrl.Model().NumStates()))
+	if m := res.BeliefEntropy.Mean(); m < 0 || m > maxEnt {
+		t.Errorf("mean belief entropy %v outside [0, ln n = %v]", m, maxEnt)
+	}
+
+	plainCtrl, plainInitial := preparedBounded(t, rm)
+	plain, err := runner.RunCampaign(plainCtrl, plainInitial, []int{1, 2}, 8, rng.New(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Decisions != 0 || plain.TreeNodes != 0 || plain.BoundGap.N() != 0 {
+		t.Errorf("plain campaign grew decision stats: %+v", plain)
+	}
+}
+
+// TestBatchedCampaignStatsMatchSequential: the batched stepping mode must
+// reproduce the sequential campaign's decision-stat aggregates — exact
+// work totals (the even per-batch attribution sums back to the truth) and
+// bit-identical bound-gap/entropy accumulators (per-decision values are
+// bit-identical and folded in the same episode order).
+func TestBatchedCampaignStatsMatchSequential(t *testing.T) {
+	rm, _ := twoServerRecovery(t)
+	runner, err := NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{1, 2}
+	const episodes = 48
+
+	seqCtrl, seqInitial := statsBounded(t, rm)
+	seq, err := runner.RunCampaignOpts(seqCtrl, seqInitial, faults, episodes, rng.New(89), CampaignOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batCtrl, batInitial := statsBounded(t, rm)
+	bat, err := runner.RunCampaignOpts(batCtrl, batInitial, faults, episodes, rng.New(89), CampaignOptions{
+		Workers: 1, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Decisions != bat.Decisions {
+		t.Errorf("decision totals diverge: seq %d, batched %d", seq.Decisions, bat.Decisions)
+	}
+	if seq.TreeNodes != bat.TreeNodes {
+		t.Errorf("tree-node totals diverge: seq %d, batched %d", seq.TreeNodes, bat.TreeNodes)
+	}
+	if seq.LeafEvals != bat.LeafEvals {
+		t.Errorf("leaf-eval totals diverge: seq %d, batched %d", seq.LeafEvals, bat.LeafEvals)
+	}
+	if seq.BoundGap != bat.BoundGap {
+		t.Errorf("bound-gap accumulators diverge:\nseq: %+v\nbat: %+v", seq.BoundGap, bat.BoundGap)
+	}
+	if seq.BeliefEntropy != bat.BeliefEntropy {
+		t.Errorf("entropy accumulators diverge:\nseq: %+v\nbat: %+v", seq.BeliefEntropy, bat.BeliefEntropy)
+	}
+}

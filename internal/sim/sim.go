@@ -55,6 +55,29 @@ type EpisodeResult struct {
 	// MonitorCalls is the number of monitor sweeps performed (one follows
 	// every step, including the initial detection sweep).
 	MonitorCalls int
+
+	// Decision-stat aggregates, populated only when the deciding controller
+	// collects per-decision stats (controller.StatsSource with stats
+	// enabled). Decisions counts the decisions covered; TreeNodes, LeafEvals
+	// and SlabPasses total the Max-Avg expansion work; BoundGapSum and
+	// EntropySum accumulate the Property 1(b) slack and the belief entropy
+	// across decisions (divide by Decisions for per-decision means).
+	Decisions   int
+	TreeNodes   uint64
+	LeafEvals   uint64
+	SlabPasses  uint64
+	BoundGapSum float64
+	EntropySum  float64
+}
+
+// addStats folds one decision's stats into the episode aggregates.
+func (res *EpisodeResult) addStats(st controller.DecisionStats) {
+	res.Decisions++
+	res.TreeNodes += st.TreeNodes
+	res.LeafEvals += st.LeafEvals
+	res.SlabPasses += st.SlabPasses
+	res.BoundGapSum += st.BoundGap
+	res.EntropySum += st.BeliefEntropy
 }
 
 // Runner executes recovery episodes against a recovery model's simulated
@@ -103,6 +126,11 @@ func (r *Runner) RunEpisode(ctrl controller.Controller, initial pomdp.Belief, fa
 	state := faultState
 	obsAction := r.rm.MonitorAction
 
+	// Decision-stat collection is decided once per episode so the hot loop
+	// pays nothing when the controller does not collect (the common case).
+	ss, _ := ctrl.(controller.StatsSource)
+	collect := ss != nil && ss.StatsEnabled()
+
 	// Initial detection sweep: the monitors fire once so the controller can
 	// condition its uniform prior on real outputs (Section 4).
 	state, err := r.step(ctrl, &res, state, obsAction, stream)
@@ -119,6 +147,9 @@ func (r *Runner) RunEpisode(ctrl controller.Controller, initial pomdp.Belief, fa
 		res.AlgoTime += time.Since(t0)
 		if err != nil {
 			return res, fmt.Errorf("sim: %s decide: %w", ctrl.Name(), err)
+		}
+		if collect {
+			res.addStats(ss.DecisionStats())
 		}
 		if d.Terminate {
 			res.Recovered = r.isNull[state]

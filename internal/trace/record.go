@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/obs"
+	"bpomdp/internal/pomdp"
+)
+
+// Recorder is the structured counterpart of Tracer: it wraps controllers and
+// emits one obs.DecisionRecord per decision as JSONL (schema
+// obs.TraceSchema). When the wrapped controller implements
+// controller.StatsSource with stats enabled, each record carries the full
+// bound-gap explanation (V_B⁻, Property 1(b) slack, belief entropy, Max-Avg
+// work counters, bound-set snapshot); otherwise it records just the decision
+// itself.
+//
+// One Recorder may be shared by many wrapped controllers running in
+// parallel: episode numbering is atomic and the underlying writer
+// serializes, so each record lands as one intact line.
+type Recorder struct {
+	w     *obs.TraceWriter
+	model *pomdp.POMDP // optional; resolves action names
+	ep    atomic.Uint64
+
+	mu  sync.Mutex
+	err error // first write error, sticky
+}
+
+// NewRecorder builds a Recorder emitting JSONL to w. model may be nil; when
+// present it resolves action names into the records.
+func NewRecorder(w io.Writer, model *pomdp.POMDP) *Recorder {
+	return &Recorder{w: obs.NewTraceWriter(w), model: model}
+}
+
+// Err returns the first error encountered while writing records, if any.
+// Decision flow is never interrupted by trace-write failures; callers check
+// Err after a run.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Recorder) write(rec *obs.DecisionRecord) {
+	if err := r.w.Write(rec); err != nil {
+		r.mu.Lock()
+		if r.err == nil {
+			r.err = err
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Wrap returns a Controller forwarding to ctrl that records every decision.
+// The wrapper preserves StateAware and, when ctrl collects decision stats,
+// reads them through the StatsSource interface.
+func (r *Recorder) Wrap(ctrl controller.Controller) controller.Controller {
+	rec := &recorded{inner: ctrl, r: r}
+	rec.stats, _ = ctrl.(controller.StatsSource)
+	return rec
+}
+
+type recorded struct {
+	inner controller.Controller
+	stats controller.StatsSource // nil when inner has no stats
+	r     *Recorder
+	ep    uint64
+	step  int
+}
+
+var (
+	_ controller.Controller = (*recorded)(nil)
+	_ controller.StateAware = (*recorded)(nil)
+)
+
+func (c *recorded) Name() string { return c.inner.Name() }
+
+func (c *recorded) Reset(initial pomdp.Belief) error {
+	c.ep = c.r.ep.Add(1)
+	c.step = 0
+	return c.inner.Reset(initial)
+}
+
+func (c *recorded) Decide() (controller.Decision, error) {
+	d, err := c.inner.Decide()
+	if err != nil {
+		return d, err
+	}
+	rec := obs.DecisionRecord{
+		Episode:   c.ep,
+		Step:      c.step,
+		Action:    d.Action,
+		Terminate: d.Terminate,
+		Value:     d.Value,
+	}
+	if c.stats != nil && c.stats.StatsEnabled() {
+		st := c.stats.DecisionStats()
+		rec.Action = st.Action
+		rec.QValues = st.QValues
+		rec.LeafBound = st.LeafBound
+		rec.BoundGap = st.BoundGap
+		rec.BeliefEntropy = st.BeliefEntropy
+		rec.TreeNodes = st.TreeNodes
+		rec.LeafEvals = st.LeafEvals
+		rec.SlabPasses = st.SlabPasses
+		rec.SetSize = st.SetSize
+		rec.SetEvictions = st.SetEvictions
+	}
+	if c.r.model != nil && rec.Action >= 0 && rec.Action < c.r.model.NumActions() {
+		rec.ActionName = c.r.model.M.ActionName(rec.Action)
+	}
+	c.r.write(&rec)
+	return d, nil
+}
+
+func (c *recorded) Observe(action, o int) error {
+	c.step++
+	return c.inner.Observe(action, o)
+}
+
+func (c *recorded) Belief() pomdp.Belief { return c.inner.Belief() }
+
+func (c *recorded) ObserveTrueState(s int) {
+	if sa, ok := c.inner.(controller.StateAware); ok {
+		sa.ObserveTrueState(s)
+	}
+}

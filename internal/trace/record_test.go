@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/models"
+	"bpomdp/internal/obs"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/sim"
+)
+
+// recoveryFixture builds the two-server recovery model and a factory of
+// independent bounded controllers (each over its own prepared bound set).
+func recoveryFixture(t *testing.T, collectStats bool) (*core.RecoveryModel, func() (*controller.Bounded, pomdp.Belief)) {
+	t.Helper()
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := &core.RecoveryModel{
+		POMDP:           ts.Model,
+		NullStates:      ts.NullStates,
+		RateRewards:     ts.RateRewards,
+		Durations:       []float64{1, 1, 0},
+		MonitorAction:   ts.ActionObserve,
+		MonitorDuration: 0.1,
+	}
+	mk := func() (*controller.Bounded, pomdp.Belief) {
+		prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1, CollectStats: collectStats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial, err := prep.InitialBelief()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl, initial
+	}
+	return rm, mk
+}
+
+// syncBuffer is a goroutine-safe writer; the Tracer/TraceWriter mutexes
+// already serialize whole lines, this only guards the underlying buffer.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTracerSharedAcrossWorkers runs one Tracer shared by the controllers
+// of a Workers>1 campaign. Under -race this pins the Tracer's write lock:
+// before the fix, concurrent fmt.Fprintf calls raced on W.
+func TestTracerSharedAcrossWorkers(t *testing.T) {
+	rm, mk := recoveryFixture(t, false)
+	runner, err := sim.NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf syncBuffer
+	tracer := &Tracer{W: &buf, Model: rm.POMDP}
+	factory := func() (controller.Controller, pomdp.Belief, error) {
+		ctrl, initial := mk()
+		return Wrap(ctrl, tracer), initial, nil
+	}
+	res, err := runner.RunCampaignOpts(nil, nil, []int{1, 2}, 24, rng.New(71), sim.CampaignOptions{
+		Workers: 4, WorkerFactory: factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 24 {
+		t.Fatalf("campaign ran %d episodes, want 24", res.Episodes)
+	}
+	out := buf.String()
+	for _, want := range []string{"reset", "TERMINATE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shared trace missing %q", want)
+		}
+	}
+	// Every line must be intact: it starts with the controller tag, so a
+	// torn write would leave a line starting elsewhere.
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "[bounded(") {
+			t.Fatalf("line %d torn or interleaved: %q", i, line)
+		}
+	}
+}
+
+// TestRecorderStructuredCampaign drives a Workers>1 campaign of
+// stats-collecting controllers through one shared Recorder and round-trips
+// the JSONL: every record must carry the schema, a non-negative bound gap
+// (Property 1(b)'s slack), live work counters, and a resolvable action name.
+func TestRecorderStructuredCampaign(t *testing.T) {
+	rm, mk := recoveryFixture(t, true)
+	runner, err := sim.NewRunner(rm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf syncBuffer
+	// The prepared model resolves the terminate action; use one instance.
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(&buf, prep.Model)
+	factory := func() (controller.Controller, pomdp.Belief, error) {
+		ctrl, initial := mk()
+		return rec.Wrap(ctrl), initial, nil
+	}
+	const episodes = 16
+	res, err := runner.RunCampaignOpts(nil, nil, []int{1, 2}, episodes, rng.New(73), sim.CampaignOptions{
+		Workers: 2, WorkerFactory: factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recorder write error: %v", err)
+	}
+	records, err := obs.DecodeTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no decision records emitted")
+	}
+	episodesSeen := map[uint64]bool{}
+	terminates := 0
+	for i, r := range records {
+		episodesSeen[r.Episode] = true
+		if r.Schema != obs.TraceSchema {
+			t.Fatalf("record %d schema %q", i, r.Schema)
+		}
+		if r.BoundGap < -1e-9 {
+			t.Errorf("record %d: negative bound gap %v", i, r.BoundGap)
+		}
+		if r.BeliefEntropy < 0 {
+			t.Errorf("record %d: negative entropy %v", i, r.BeliefEntropy)
+		}
+		if r.TreeNodes == 0 && !r.Terminate {
+			t.Errorf("record %d: expanding decision with zero tree nodes", i)
+		}
+		if r.Terminate {
+			terminates++
+		}
+		if r.Action >= 0 && r.ActionName == "" {
+			t.Errorf("record %d: action %d unresolved", i, r.Action)
+		}
+		if len(r.QValues) != prep.Model.NumActions() {
+			t.Errorf("record %d: %d Q-values, want %d", i, len(r.QValues), prep.Model.NumActions())
+		}
+	}
+	if len(episodesSeen) != episodes {
+		t.Errorf("records span %d episodes, want %d", len(episodesSeen), episodes)
+	}
+	if terminates != res.Episodes {
+		t.Errorf("%d terminate records for %d completed episodes", terminates, res.Episodes)
+	}
+}

@@ -8,12 +8,16 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"bpomdp/internal/controller"
 	"bpomdp/internal/pomdp"
 )
 
-// Tracer renders controller activity.
+// Tracer renders controller activity. One Tracer may be shared by several
+// traced controllers running in parallel (e.g. campaign workers): every
+// write to W goes through an internal mutex, so lines never interleave
+// mid-line and the writer itself need not be synchronized.
 type Tracer struct {
 	// W receives the trace lines.
 	W io.Writer
@@ -21,6 +25,15 @@ type Tracer struct {
 	Model *pomdp.POMDP
 	// ShowBelief includes the belief vector in decision lines.
 	ShowBelief bool
+
+	mu sync.Mutex // serializes writes to W
+}
+
+// printf emits one trace line under the write lock.
+func (t *Tracer) printf(format string, args ...any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.W, format, args...)
 }
 
 // Wrap returns a Controller that forwards to ctrl while logging through t.
@@ -47,24 +60,24 @@ func (c *traced) Reset(initial pomdp.Belief) error {
 	c.step = 0
 	err := c.inner.Reset(initial)
 	if err != nil {
-		fmt.Fprintf(c.t.W, "[%s] reset failed: %v\n", c.inner.Name(), err)
+		c.t.printf("[%s] reset failed: %v\n", c.inner.Name(), err)
 		return err
 	}
-	fmt.Fprintf(c.t.W, "[%s] reset%s\n", c.inner.Name(), c.beliefSuffix(initial))
+	c.t.printf("[%s] reset%s\n", c.inner.Name(), c.beliefSuffix(initial))
 	return nil
 }
 
 func (c *traced) Decide() (controller.Decision, error) {
 	d, err := c.inner.Decide()
 	if err != nil {
-		fmt.Fprintf(c.t.W, "[%s] step %d: decide failed: %v\n", c.inner.Name(), c.step, err)
+		c.t.printf("[%s] step %d: decide failed: %v\n", c.inner.Name(), c.step, err)
 		return d, err
 	}
 	if d.Terminate {
-		fmt.Fprintf(c.t.W, "[%s] step %d: TERMINATE (value %.3f)\n", c.inner.Name(), c.step, d.Value)
+		c.t.printf("[%s] step %d: TERMINATE (value %.3f)\n", c.inner.Name(), c.step, d.Value)
 		return d, nil
 	}
-	fmt.Fprintf(c.t.W, "[%s] step %d: choose %s (value %.3f)%s\n",
+	c.t.printf("[%s] step %d: choose %s (value %.3f)%s\n",
 		c.inner.Name(), c.step, c.t.Model.M.ActionName(d.Action), d.Value, c.beliefSuffix(c.inner.Belief()))
 	return d, nil
 }
@@ -73,11 +86,11 @@ func (c *traced) Observe(action, obs int) error {
 	c.step++
 	err := c.inner.Observe(action, obs)
 	if err != nil {
-		fmt.Fprintf(c.t.W, "[%s] step %d: observe %s after %s failed: %v\n",
+		c.t.printf("[%s] step %d: observe %s after %s failed: %v\n",
 			c.inner.Name(), c.step, c.t.Model.ObsName(obs), c.t.Model.M.ActionName(action), err)
 		return err
 	}
-	fmt.Fprintf(c.t.W, "[%s] step %d: observed %s\n", c.inner.Name(), c.step, c.t.Model.ObsName(obs))
+	c.t.printf("[%s] step %d: observed %s\n", c.inner.Name(), c.step, c.t.Model.ObsName(obs))
 	return nil
 }
 
@@ -86,7 +99,7 @@ func (c *traced) Belief() pomdp.Belief { return c.inner.Belief() }
 // ObserveTrueState forwards the true state to state-aware controllers and
 // logs it either way.
 func (c *traced) ObserveTrueState(s int) {
-	fmt.Fprintf(c.t.W, "[%s] step %d: true state is %s\n", c.inner.Name(), c.step, c.t.Model.M.StateName(s))
+	c.t.printf("[%s] step %d: true state is %s\n", c.inner.Name(), c.step, c.t.Model.M.StateName(s))
 	if sa, ok := c.inner.(controller.StateAware); ok {
 		sa.ObserveTrueState(s)
 	}
