@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-campaign check vet fmt lint bench bench-smoke table1 fig5bounds
+.PHONY: build test test-short test-campaign test-fleet check vet fmt lint fuzz-smoke bench bench-smoke table1 fig5bounds
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,26 @@ lint:
 test-campaign:
 	$(GO) test -race -run 'Unified|Parallel|Campaign|Sequential' ./internal/sim/
 
-# The full gate: formatting, vet, and the complete test suite (chaos
-# campaign included) under the race detector.
+# Fleet and chaos suite under the race detector: ring/membership unit tests,
+# server-side redirect/adoption tests, client failover, and the node-kill
+# campaign — the fast gate for changes to the fleet path.
+test-fleet:
+	$(GO) test -race -run 'Fleet|Chaos' ./...
+	$(GO) test -race ./internal/fleet/
+
+# Fuzz smoke: a few seconds per fuzz target over the checkpoint trust
+# boundary (EpisodeState JSON decode and log-record framing). Corpus
+# additions land under internal/server/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzEpisodeStateDecode -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzLogRecordDecode -fuzztime=10s ./internal/server
+
+# The full gate: formatting, vet, the complete test suite (chaos campaign
+# included) under the race detector, and the fuzz smoke.
 check: fmt
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
 
 # Benchmark smoke: short measurements diffed against the committed baseline.
 # Hard-fails, but only on regressions that reproduce in both measurement

@@ -20,6 +20,9 @@
 //     reused decision buffers (the full batched Max-Avg expansion)
 //   - campaign_batched — the campaign engine in batched stepping mode
 //     (CampaignOptions.BatchSize), same figures as campaign_sequential
+//   - campaign_seq_w{1,2,4,8} / campaign_batched_w{1,2,4,8} — the
+//     worker-scaling matrix: both stepping modes at 1/2/4/8 workers, so
+//     scaling shape (not just single-point throughput) is tracked
 //
 // With -compare the report is also diffed against a previously committed
 // baseline: any benchmark whose ns/op regresses by more than -threshold, or
@@ -58,6 +61,10 @@ import (
 
 // benchSchema identifies the BENCH_campaign.json document format.
 const benchSchema = "bpomdp.bench/v1"
+
+// scalingWorkers is the worker-count matrix measured for both stepping
+// modes (campaign_seq_wN / campaign_batched_wN).
+var scalingWorkers = []int{1, 2, 4, 8}
 
 // Report is the BENCH_campaign.json document ("bpomdp.bench/v1").
 type Report struct {
@@ -136,7 +143,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Bench))
-		for _, name := range []string{"campaign_sequential", "campaign_batched", "campaign_parallel", "belief_update", "gs_sweep", "ra_solve", "set_value_batch", "batch_decide"} {
+		names := []string{"campaign_sequential", "campaign_batched", "campaign_parallel"}
+		for _, w := range scalingWorkers {
+			names = append(names, fmt.Sprintf("campaign_seq_w%d", w), fmt.Sprintf("campaign_batched_w%d", w))
+		}
+		names = append(names, "belief_update", "gs_sweep", "ra_solve", "set_value_batch", "batch_decide")
+		for _, name := range names {
 			e, ok := rep.Bench[name]
 			if !ok {
 				continue
@@ -367,7 +379,15 @@ func benchCampaigns(rep *Report, compiled *arch.Compiled, prep *core.Prepared, e
 	if workers < 1 {
 		workers = 1
 	}
-	pool := make([]controller.Controller, workers)
+	// The scaling matrix below needs a controller per worker up to its
+	// largest rung, whatever -workers says.
+	poolSize := workers
+	for _, w := range scalingWorkers {
+		if w > poolSize {
+			poolSize = w
+		}
+	}
+	pool := make([]controller.Controller, poolSize)
 	initial, err := prep.InitialBelief()
 	if err != nil {
 		return err
@@ -416,6 +436,39 @@ func benchCampaigns(rep *Report, compiled *arch.Compiled, prep *core.Prepared, e
 	rep.Bench["campaign_sequential"] = finish(testing.Benchmark(func(b *testing.B) { campaign(b, 1) }), 1)
 	if workers > 1 {
 		rep.Bench["campaign_parallel"] = finish(testing.Benchmark(func(b *testing.B) { campaign(b, workers) }), workers)
+	}
+
+	// Worker-scaling matrix: per-episode stepping and batched stepping at
+	// 1/2/4/8 workers. On a single-core runner the rungs mostly measure
+	// scheduling overhead, but the committed matrix lets multi-core machines
+	// diff scaling shape, not just single-point throughput.
+	batched := func(b *testing.B, w int) {
+		b.Helper()
+		b.ReportAllocs()
+		var next atomic.Uint64
+		factory := func() (controller.Controller, pomdp.Belief, error) {
+			idx := int(next.Add(1)-1) % len(pool)
+			return pool[idx], initial, nil
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(uint64(i)), sim.CampaignOptions{
+				Workers:       w,
+				WorkerFactory: factory,
+				BatchSize:     16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Episodes != episodes {
+				b.Fatalf("campaign completed %d/%d episodes", res.Episodes, episodes)
+			}
+		}
+	}
+	for _, w := range scalingWorkers {
+		w := w
+		rep.Bench[fmt.Sprintf("campaign_seq_w%d", w)] = finish(testing.Benchmark(func(b *testing.B) { campaign(b, w) }), w)
+		rep.Bench[fmt.Sprintf("campaign_batched_w%d", w)] = finish(testing.Benchmark(func(b *testing.B) { batched(b, w) }), w)
 	}
 
 	// Batched stepping: one worker advances a stripe of live episodes

@@ -31,12 +31,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"bpomdp/internal/controller"
 	"bpomdp/internal/core"
 	"bpomdp/internal/emn"
+	"bpomdp/internal/fleet"
 	"bpomdp/internal/modelload"
 	"bpomdp/internal/obs"
 	"bpomdp/internal/pomdp"
@@ -65,9 +67,14 @@ func run(ctx context.Context, args []string) error {
 		boundsPath  = fs.String("bounds", "", "load the bound set from this JSON file if it exists, and save it back after bootstrap")
 		maxEpisodes = fs.Int("max-episodes", 0, "cap on concurrently open episodes (0 = default)")
 
-		checkpointDir = fs.String("checkpoint-dir", "", "persist per-episode checkpoints here; a restarted daemon resumes all open episodes")
-		episodeTTL    = fs.Duration("episode-ttl", 30*time.Minute, "evict episodes idle longer than this (0 disables abandoned-monitor GC)")
-		maxBodyBytes  = fs.Int64("max-body-bytes", 1<<20, "cap on request body size")
+		checkpointDir   = fs.String("checkpoint-dir", "", "persist per-episode checkpoints here; a restarted daemon resumes all open episodes")
+		checkpointStore = fs.String("checkpoint-store", "dir", `checkpoint store layout: "dir" (one JSON file per episode) or "log" (append-only log with compaction)`)
+		episodeTTL      = fs.Duration("episode-ttl", 30*time.Minute, "evict episodes idle longer than this (0 disables abandoned-monitor GC)")
+		maxBodyBytes    = fs.Int64("max-body-bytes", 1<<20, "cap on request body size")
+
+		fleetSelf   = fs.String("fleet-self", "", "this member's id within -fleet-peers; enables fleet mode")
+		fleetPeers  = fs.String("fleet-peers", "", `static fleet membership as comma-separated id=addr pairs, e.g. "n1=http://10.0.0.1:7947,n2=http://10.0.0.2:7947"`)
+		fleetVnodes = fs.Int("fleet-vnodes", 0, "virtual nodes per member on the hash ring (0 = default; must match on every member and client)")
 
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 		expvarOn    = fs.Bool("expvar", false, "also serve expvar under /debug/vars on the -pprof listener")
@@ -145,13 +152,48 @@ func run(ctx context.Context, args []string) error {
 		log.Printf("tracing decisions to %s (schema %s)", *tracePath, obs.TraceSchema)
 	}
 
+	if (*fleetSelf == "") != (*fleetPeers == "") {
+		return fmt.Errorf("-fleet-self and -fleet-peers must be set together")
+	}
+	fleetOn := *fleetSelf != ""
+	if fleetOn && *checkpointDir == "" {
+		return fmt.Errorf("fleet mode needs -checkpoint-dir: episode handoff replays the dead member's checkpoints")
+	}
+
 	var checkpointer server.Checkpointer
 	if *checkpointDir != "" {
-		cp, err := server.NewDirCheckpointer(*checkpointDir)
+		dir := *checkpointDir
+		if fleetOn {
+			// Per-member stores under a shared root: survivors open a dead
+			// member's store at <root>/<memberID> to adopt its episodes.
+			dir = filepath.Join(dir, *fleetSelf)
+		}
+		cp, err := server.OpenCheckpointStore(*checkpointStore, dir)
 		if err != nil {
 			return err
 		}
 		checkpointer = cp
+	}
+
+	var fleetCfg *server.FleetConfig
+	if fleetOn {
+		members, err := fleet.ParsePeers(*fleetPeers)
+		if err != nil {
+			return err
+		}
+		view, err := fleet.NewMembership(members, *fleetVnodes)
+		if err != nil {
+			return err
+		}
+		root, store := *checkpointDir, *checkpointStore
+		fleetCfg = &server.FleetConfig{
+			Self:       *fleetSelf,
+			Membership: view,
+			StoreFor: func(memberID string) (server.Checkpointer, error) {
+				return server.OpenCheckpointStore(store, filepath.Join(root, memberID))
+			},
+		}
+		log.Printf("fleet mode: member %q of %d peers", *fleetSelf, len(members))
 	}
 
 	// Structured tracing needs the controllers to collect per-decision
@@ -165,6 +207,7 @@ func run(ctx context.Context, args []string) error {
 		Model:         prep.Model,
 		MaxEpisodes:   *maxEpisodes,
 		Checkpointer:  checkpointer,
+		Fleet:         fleetCfg,
 		EpisodeTTL:    *episodeTTL,
 		MaxBodyBytes:  *maxBodyBytes,
 		DecisionTrace: decisionTrace,

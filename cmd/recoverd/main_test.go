@@ -120,6 +120,78 @@ func TestRunWithCheckpointDir(t *testing.T) {
 	}
 }
 
+func TestRunWithLogCheckpointStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-model", "twoserver",
+		"-top", "10",
+		"-bootstrap", "3",
+		"-bootstrap-depth", "1",
+		"-checkpoint-dir", dir,
+		"-checkpoint-store", "log",
+	}
+	if err := run(cancelledCtx(), args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.log")); err != nil {
+		t.Errorf("log store file not created: %v", err)
+	}
+	// A second run reopens the log cleanly.
+	if err := run(cancelledCtx(), args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "0", "-checkpoint-dir", dir, "-checkpoint-store", "sqlite",
+	}); err == nil {
+		t.Error("unknown -checkpoint-store accepted")
+	}
+}
+
+func TestRunFleetFlags(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-model", "twoserver",
+		"-top", "10",
+		"-bootstrap", "2",
+		"-bootstrap-depth", "1",
+		"-checkpoint-dir", dir,
+		"-fleet-self", "n1",
+		"-fleet-peers", "n1=127.0.0.1:7947,n2=127.0.0.1:7948",
+	}
+	if err := run(cancelledCtx(), args); err != nil {
+		t.Fatal(err)
+	}
+	// Fleet mode nests this member's store under the shared root.
+	if fi, err := os.Stat(filepath.Join(dir, "n1")); err != nil || !fi.IsDir() {
+		t.Errorf("per-member store dir not created: %v", err)
+	}
+
+	base := []string{"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10", "-bootstrap", "0"}
+	if err := run(cancelledCtx(), append(base,
+		"-checkpoint-dir", dir, "-fleet-self", "n1")); err == nil {
+		t.Error("-fleet-self without -fleet-peers accepted")
+	}
+	if err := run(cancelledCtx(), append(base,
+		"-checkpoint-dir", dir, "-fleet-peers", "n1=x,n2=y")); err == nil {
+		t.Error("-fleet-peers without -fleet-self accepted")
+	}
+	if err := run(cancelledCtx(), append(base,
+		"-fleet-self", "n1", "-fleet-peers", "n1=x,n2=y")); err == nil {
+		t.Error("fleet mode without -checkpoint-dir accepted")
+	}
+	if err := run(cancelledCtx(), append(base,
+		"-checkpoint-dir", dir, "-fleet-self", "ghost", "-fleet-peers", "n1=x,n2=y")); err == nil {
+		t.Error("self outside the peer list accepted")
+	}
+	if err := run(cancelledCtx(), append(base,
+		"-checkpoint-dir", dir, "-fleet-self", "n1", "-fleet-peers", "n1=x,n1=y")); err == nil {
+		t.Error("duplicate peer ids accepted")
+	}
+}
+
 func TestRunObservabilityFlags(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "decisions.jsonl")
 	if err := run(cancelledCtx(), []string{

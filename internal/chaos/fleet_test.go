@@ -1,0 +1,189 @@
+package chaos_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bpomdp/internal/chaos"
+	"bpomdp/internal/client"
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/models"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/server"
+	"bpomdp/internal/sim"
+)
+
+// killerEpisode wraps a FleetEpisode and, on the armed episode after a few
+// applied observations, SIGKILLs whichever fleet member is serving it. The
+// controller interface is otherwise passed through untouched, so the
+// campaign engine cannot tell a handoff happened.
+type killerEpisode struct {
+	*client.FleetEpisode
+	f          *chaos.Fleet
+	fired      *bool
+	adopted    *int
+	armed      bool
+	afterSteps int
+	steps      int
+}
+
+func (k *killerEpisode) Observe(action, obs int) error {
+	if err := k.FleetEpisode.Observe(action, obs); err != nil {
+		return err
+	}
+	k.steps++
+	if k.armed && !*k.fired && k.steps >= k.afterSteps {
+		*k.fired = true
+		n, err := k.f.Kill(k.FleetEpisode.Owner())
+		if err != nil {
+			return err
+		}
+		*k.adopted = n
+	}
+	return nil
+}
+
+// TestFleetChaosZeroAbandonedEpisodes is the fleet acceptance test: a
+// 3-member fleet runs a full campaign through the coordinator-free
+// FleetClient, one member is SIGKILL-dropped while it is serving a live
+// episode, and the campaign must still finish with zero abandoned episodes
+// and the exact per-fault mean cost of the same campaign against a local
+// in-process controller. The fleet uses the append-only log checkpoint
+// store, so the handoff replays from fsynced log records, not from any
+// in-memory state of the dead node.
+func TestFleetChaosZeroAbandonedEpisodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet chaos campaign is slow; skipped with -short")
+	}
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := &core.RecoveryModel{
+		POMDP:           ts.Model,
+		NullStates:      ts.NullStates,
+		RateRewards:     ts.RateRewards,
+		Durations:       []float64{1, 1, 0},
+		MonitorAction:   ts.ActionObserve,
+		MonitorDuration: 0.1,
+	}
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Bootstrap(10, controller.VariantAverage, 1, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (controller.Controller, pomdp.Belief, error) {
+		ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		initial, err := prep.InitialBelief()
+		return ctrl, initial, err
+	}
+	runner, err := sim.NewRunner(rm, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []int{1, 2}
+	const episodes = 20
+	const campaignSeed = 97
+	const killDuringEpisode = 7
+
+	// Baseline: the same campaign seeds against a local controller.
+	ctrl, initial, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := runner.RunCampaign(ctrl, initial, faults, episodes, rng.New(campaignSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Recovered != baseline.Episodes {
+		t.Fatalf("baseline failed to recover: %d/%d", baseline.Recovered, baseline.Episodes)
+	}
+
+	f, err := chaos.NewFleet([]string{"n1", "n2", "n3"}, t.TempDir(),
+		server.Config{Model: prep.Model, NewController: factory},
+		chaos.FleetOptions{VNodes: 16, StoreKind: "log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fc, err := client.NewFleetClient(f.Members(), 16, nil, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Budget:      5 * time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killFired := false
+	adopted := 0
+	remote, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(campaignSeed), sim.CampaignOptions{
+		// Workers pinned to 1: exact equality against the sequential baseline
+		// needs the sequential fold order.
+		Workers:         1,
+		ContinueOnError: true,
+		EpisodeFactory: func(episode int) (controller.Controller, func(error), error) {
+			ep, err := fc.StartEpisode()
+			if err != nil {
+				return nil, nil, err
+			}
+			k := &killerEpisode{
+				FleetEpisode: ep,
+				f:            f,
+				fired:        &killFired,
+				adopted:      &adopted,
+				armed:        episode == killDuringEpisode,
+				afterSteps:   2,
+			}
+			cleanup := func(err error) {
+				if err != nil {
+					_ = ep.Abandon()
+				}
+			}
+			return k, cleanup, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !killFired {
+		t.Fatal("the kill never fired; the campaign was not chaotic")
+	}
+	if adopted < 1 {
+		t.Errorf("survivors adopted %d episodes at kill time, want >= 1 (the live episode)", adopted)
+	}
+	if remote.Abandoned != 0 {
+		t.Errorf("%d episodes abandoned across the node kill, want 0", remote.Abandoned)
+	}
+	if remote.Episodes != baseline.Episodes || remote.Recovered != baseline.Recovered {
+		t.Errorf("fleet campaign completed %d/%d recovered, baseline %d/%d",
+			remote.Recovered, remote.Episodes, baseline.Recovered, baseline.Episodes)
+	}
+	if diff := math.Abs(remote.Cost.Mean() - baseline.Cost.Mean()); diff > 1e-9 {
+		t.Errorf("mean cost diverged by %g: fleet %v vs baseline %v",
+			diff, remote.Cost.Mean(), baseline.Cost.Mean())
+	}
+	if diff := math.Abs(remote.ResidualTime.Mean() - baseline.ResidualTime.Mean()); diff > 1e-9 {
+		t.Errorf("mean residual time diverged by %g", diff)
+	}
+	// Every episode terminated, so nothing is left open — or checkpointed —
+	// anywhere in the fleet.
+	if open := f.OpenEpisodes(); open != 0 {
+		t.Errorf("%d episodes still open across survivors", open)
+	}
+	if len(f.Survivors()) != 2 {
+		t.Errorf("%d survivors, want 2", len(f.Survivors()))
+	}
+	t.Logf("fleet chaos: kill fired during episode %d, %d adoption(s), mean cost %v",
+		killDuringEpisode, adopted, remote.Cost.Mean())
+}

@@ -93,7 +93,7 @@ func (c *Client) Healthy() error {
 // Model fetches the model summary.
 func (c *Client) Model() (server.ModelResponse, error) {
 	var out server.ModelResponse
-	err := c.do(http.MethodGet, "/v1/model", nil, &out, idemSafe)
+	err := c.do(http.MethodGet, "/v1/model", nil, nil, &out, idemSafe)
 	return out, err
 }
 
@@ -102,12 +102,20 @@ func (c *Client) Model() (server.ModelResponse, error) {
 // raced a lost response resumes the already-created episode instead of
 // leaking a duplicate.
 func (c *Client) StartEpisode() (*Episode, error) {
-	req := server.StartRequest{ClientKey: newClientKey()}
+	return c.StartEpisodeKeyed(newClientKey())
+}
+
+// StartEpisodeKeyed opens an episode under a caller-chosen idempotency key.
+// In a fleet the key doubles as the episode's routing key; restarting the
+// same key on any member converges on the one episode (dedupe on the owner,
+// redirect elsewhere, adoption after a handoff).
+func (c *Client) StartEpisodeKeyed(key string) (*Episode, error) {
+	req := server.StartRequest{ClientKey: key}
 	var out server.StartResponse
-	if err := c.do(http.MethodPost, "/v1/episodes", &req, &out, idemSafe); err != nil {
+	if err := c.do(http.MethodPost, "/v1/episodes", episodeKeyHeader(key), &req, &out, idemSafe); err != nil {
 		return nil, err
 	}
-	return &Episode{c: c, id: out.EpisodeID, open: true}, nil
+	return &Episode{c: c, id: out.EpisodeID, key: key, hdr: episodeKeyHeader(key), open: true}, nil
 }
 
 // Resume attaches to an episode already open on the server — typically one
@@ -115,10 +123,20 @@ func (c *Client) StartEpisode() (*Episode, error) {
 // client's observation step counter with the server's.
 func (c *Client) Resume(id uint64) (*Episode, error) {
 	var st server.StatusResponse
-	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d", id), nil, &st, idemSafe); err != nil {
+	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d", id), nil, nil, &st, idemSafe); err != nil {
 		return nil, err
 	}
 	return &Episode{c: c, id: id, steps: st.Steps, open: st.Open}, nil
+}
+
+// episodeKeyHeader builds the routing-key header sent with episode-scoped
+// requests so fleet members can redirect or adopt instead of 404ing. Nil for
+// keyless episodes.
+func episodeKeyHeader(key string) http.Header {
+	if key == "" {
+		return nil
+	}
+	return http.Header{server.HeaderEpisodeKey: []string{key}}
 }
 
 // newClientKey returns a 128-bit random idempotency key.
@@ -138,6 +156,8 @@ func newClientKey() string {
 type Episode struct {
 	c     *Client
 	id    uint64
+	key   string      // clientKey = fleet routing key; "" for keyless episodes
+	hdr   http.Header // episode-key header sent with every request, nil if keyless
 	steps int
 	open  bool
 }
@@ -146,6 +166,10 @@ var _ controller.Controller = (*Episode)(nil)
 
 // ID returns the server-assigned episode id.
 func (e *Episode) ID() uint64 { return e.id }
+
+// Key returns the episode's idempotency/routing key ("" when started
+// without one).
+func (e *Episode) Key() string { return e.key }
 
 // Steps returns the number of observations the client knows were applied.
 func (e *Episode) Steps() int { return e.steps }
@@ -167,7 +191,7 @@ func (e *Episode) Reset(pomdp.Belief) error {
 // for the current step, so a retried call returns the identical decision.
 func (e *Episode) Decide() (controller.Decision, error) {
 	var out server.DecisionResponse
-	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/decision", e.id), nil, &out, idemSafe); err != nil {
+	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/decision", e.id), e.hdr, nil, &out, idemSafe); err != nil {
 		return controller.Decision{}, err
 	}
 	if out.Terminate {
@@ -182,7 +206,7 @@ func (e *Episode) Decide() (controller.Decision, error) {
 func (e *Episode) Observe(action, obs int) error {
 	step := e.steps
 	req := server.ObservationRequest{Action: action, Observation: obs, StepIndex: &step}
-	if err := e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil, idemSafe); err != nil {
+	if err := e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), e.hdr, &req, nil, idemSafe); err != nil {
 		return err
 	}
 	e.steps++
@@ -193,7 +217,7 @@ func (e *Episode) Observe(action, obs int) error {
 func (e *Episode) ObserveNamed(action, obs string) error {
 	step := e.steps
 	req := server.ObservationRequest{ActionName: action, ObservationName: obs, StepIndex: &step}
-	if err := e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), &req, nil, idemSafe); err != nil {
+	if err := e.c.do(http.MethodPost, fmt.Sprintf("/v1/episodes/%d/observations", e.id), e.hdr, &req, nil, idemSafe); err != nil {
 		return err
 	}
 	e.steps++
@@ -203,7 +227,7 @@ func (e *Episode) ObserveNamed(action, obs string) error {
 // Belief implements controller.Controller by fetching the remote belief.
 func (e *Episode) Belief() pomdp.Belief {
 	var out server.BeliefResponse
-	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/belief", e.id), nil, &out, idemSafe); err != nil {
+	if err := e.c.do(http.MethodGet, fmt.Sprintf("/v1/episodes/%d/belief", e.id), e.hdr, nil, &out, idemSafe); err != nil {
 		return nil
 	}
 	return pomdp.Belief(out.Belief)
@@ -212,11 +236,14 @@ func (e *Episode) Belief() pomdp.Belief {
 // Abandon deletes the episode on the server.
 func (e *Episode) Abandon() error {
 	e.open = false
-	return e.c.do(http.MethodDelete, fmt.Sprintf("/v1/episodes/%d", e.id), nil, nil, idemSafe)
+	return e.c.do(http.MethodDelete, fmt.Sprintf("/v1/episodes/%d", e.id), e.hdr, nil, nil, idemSafe)
 }
 
 // do performs one JSON request/response exchange under the retry policy.
-func (c *Client) do(method, path string, in, out any, idem idempotency) error {
+// hdr, when non-nil, supplies extra request headers (e.g. the fleet episode
+// key). Exhaustion — attempts or budget — returns a *RetryExhaustedError
+// wrapping the last failure.
+func (c *Client) do(method, path string, hdr http.Header, in, out any, idem idempotency) error {
 	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -229,6 +256,7 @@ func (c *Client) do(method, path string, in, out any, idem idempotency) error {
 	var (
 		lastErr error
 		slept   time.Duration
+		started = time.Now()
 	)
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -237,8 +265,15 @@ func (c *Client) do(method, path string, in, out any, idem idempotency) error {
 				delay = hinted
 			}
 			if slept+delay > c.policy.Budget {
-				return fmt.Errorf("client: retry budget %v exhausted after %d attempts: %w",
-					c.policy.Budget, attempt, lastErr)
+				return &RetryExhaustedError{
+					Method: method, Path: path,
+					Attempts:        attempt,
+					LastStatus:      StatusCode(lastErr),
+					Elapsed:         time.Since(started),
+					BudgetExhausted: true,
+					Budget:          c.policy.Budget,
+					Err:             lastErr,
+				}
 			}
 			slept += delay
 			c.policy.Sleep(delay)
@@ -246,7 +281,7 @@ func (c *Client) do(method, path string, in, out any, idem idempotency) error {
 				c.metrics.retries.Inc()
 			}
 		}
-		err := c.attempt(method, path, payload, out)
+		err := c.attempt(method, path, hdr, payload, out)
 		if err == nil {
 			return nil
 		}
@@ -255,7 +290,13 @@ func (c *Client) do(method, path string, in, out any, idem idempotency) error {
 			return err
 		}
 	}
-	return fmt.Errorf("client: %d attempts failed: %w", c.policy.MaxAttempts, lastErr)
+	return &RetryExhaustedError{
+		Method: method, Path: path,
+		Attempts:   c.policy.MaxAttempts,
+		LastStatus: StatusCode(lastErr),
+		Elapsed:    time.Since(started),
+		Err:        lastErr,
+	}
 }
 
 // retryDelayHint extracts a server-mandated delay (Retry-After) from err.
@@ -270,7 +311,7 @@ func retryDelayHint(err error) time.Duration {
 // doOnce performs a single attempt. Every path — success, HTTP error,
 // decode failure — drains and closes the response body so the underlying
 // connection is reusable and never leaks.
-func (c *Client) doOnce(method, path string, payload []byte, out any) error {
+func (c *Client) doOnce(method, path string, hdr http.Header, payload []byte, out any) error {
 	ctx, cancel := context.WithTimeout(context.Background(), c.policy.PerTryTimeout)
 	defer cancel()
 	var body io.Reader
@@ -283,6 +324,11 @@ func (c *Client) doOnce(method, path string, payload []byte, out any) error {
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

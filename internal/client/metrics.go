@@ -1,6 +1,7 @@
 package client
 
 import (
+	"net/http"
 	"time"
 
 	"bpomdp/internal/obs"
@@ -38,13 +39,13 @@ func WithMetrics(reg *obs.Registry) Option {
 
 // attempt wraps one doOnce call with the client's instruments; with no
 // metrics attached it is a plain call.
-func (c *Client) attempt(method, path string, payload []byte, out any) error {
+func (c *Client) attempt(method, path string, hdr http.Header, payload []byte, out any) error {
 	if c.metrics == nil {
-		return c.doOnce(method, path, payload, out)
+		return c.doOnce(method, path, hdr, payload, out)
 	}
 	c.metrics.requests.Inc()
 	t0 := time.Now()
-	err := c.doOnce(method, path, payload, out)
+	err := c.doOnce(method, path, hdr, payload, out)
 	c.metrics.latency.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		c.metrics.errors.Inc()

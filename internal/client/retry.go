@@ -109,6 +109,40 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("client: %s %s: status %d", e.method, e.path, e.code)
 }
 
+// RetryExhaustedError reports a call that ran out of retries: every attempt
+// failed, or the cumulative backoff budget was spent first. It carries the
+// retry loop's full story — attempts made, the HTTP status behind the last
+// failure (0 for transport-level errors such as a refused connection), and
+// wall-clock time burned — so callers can distinguish "the server keeps
+// saying no" from "nobody is answering" without parsing error strings. It
+// unwraps to the last attempt's error.
+type RetryExhaustedError struct {
+	// Method and Path identify the call.
+	Method, Path string
+	// Attempts is how many attempts were made before giving up.
+	Attempts int
+	// LastStatus is the HTTP status of the last failure, 0 when the failure
+	// never produced a response (dial refused, timeout, reset).
+	LastStatus int
+	// Elapsed is wall-clock time from the first attempt to giving up.
+	Elapsed time.Duration
+	// BudgetExhausted is true when the backoff budget ran out with attempts
+	// to spare; Budget is the configured cap in that case.
+	BudgetExhausted bool
+	Budget          time.Duration
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (e *RetryExhaustedError) Error() string {
+	if e.BudgetExhausted {
+		return fmt.Sprintf("client: retry budget %v exhausted after %d attempts: %v", e.Budget, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("client: %d attempts failed: %v", e.Attempts, e.Err)
+}
+
+func (e *RetryExhaustedError) Unwrap() error { return e.Err }
+
 // StatusCode extracts the HTTP status behind err, or 0 for transport-level
 // failures.
 func StatusCode(err error) int {

@@ -143,7 +143,7 @@ func TestRetryBudgetExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.do(http.MethodGet, "/v1/model", nil, nil, idemSafe)
+	err = c.do(http.MethodGet, "/v1/model", nil, nil, nil, idemSafe)
 	if err == nil {
 		t.Fatal("budget-limited call succeeded")
 	}
@@ -175,12 +175,145 @@ func TestNonIdempotentNotRetriedOnHTTPError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.do(http.MethodPost, "/x", nil, nil, idemConnOnly); err == nil {
+	if err := c.do(http.MethodPost, "/x", nil, nil, nil, idemConnOnly); err == nil {
 		t.Fatal("500 surfaced as success")
 	}
 	if got := hits.Load(); got != 1 {
 		t.Errorf("non-idempotent POST attempted %d times, want 1", got)
 	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	hdr := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	futureDate := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	pastDate := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	cases := []struct {
+		name     string
+		value    string
+		min, max time.Duration
+	}{
+		{"absent", "", 0, 0},
+		{"zero-seconds", "0", 0, 0},
+		{"integer-seconds", "7", 7 * time.Second, 7 * time.Second},
+		// Negative integers fail the secs >= 0 check and then fail HTTP-date
+		// parsing: treated as no hint, not a negative sleep.
+		{"negative-seconds", "-3", 0, 0},
+		// HTTP-date form yields roughly the remaining wall-clock delta.
+		{"http-date-future", futureDate, 85 * time.Second, 91 * time.Second},
+		// A date in the past means "retry now", never a negative duration.
+		{"http-date-past", pastDate, 0, 0},
+		{"garbage", "soon-ish", 0, 0},
+		{"float-seconds", "1.5", 0, 0},
+		{"huge-garbage", strings.Repeat("9", 40), 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseRetryAfter(hdr(tc.value))
+			if got < tc.min || got > tc.max {
+				t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.value, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestRetryExhaustedErrorFields checks the structured error both exhaustion
+// paths return: callers get attempts, last HTTP status, and elapsed time as
+// fields, without parsing the message.
+func TestRetryExhaustedErrorFields(t *testing.T) {
+	t.Run("attempts-exhausted", func(t *testing.T) {
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+		}))
+		defer hs.Close()
+		c, err := New(hs.URL, hs.Client(), WithRetryPolicy(RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    time.Microsecond,
+			Sleep:       func(time.Duration) {},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.do(http.MethodGet, "/v1/model", nil, nil, nil, idemSafe)
+		var re *RetryExhaustedError
+		if !errors.As(err, &re) {
+			t.Fatalf("error %T is not a *RetryExhaustedError", err)
+		}
+		if re.Attempts != 3 || re.LastStatus != http.StatusServiceUnavailable || re.BudgetExhausted {
+			t.Errorf("fields %+v, want Attempts=3 LastStatus=503 BudgetExhausted=false", re)
+		}
+		if re.Method != http.MethodGet || re.Path != "/v1/model" {
+			t.Errorf("call identity %s %s", re.Method, re.Path)
+		}
+		if re.Elapsed <= 0 {
+			t.Errorf("Elapsed = %v", re.Elapsed)
+		}
+		// Unwrap reaches the last attempt's statusError.
+		if StatusCode(err) != http.StatusServiceUnavailable {
+			t.Errorf("StatusCode through wrap = %d", StatusCode(err))
+		}
+	})
+	t.Run("budget-exhausted", func(t *testing.T) {
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, `{"error":"kaboom"}`, http.StatusInternalServerError)
+		}))
+		defer hs.Close()
+		c, err := New(hs.URL, hs.Client(), WithRetryPolicy(RetryPolicy{
+			MaxAttempts: 10,
+			BaseDelay:   16 * time.Millisecond,
+			MaxDelay:    16 * time.Millisecond,
+			Budget:      20 * time.Millisecond,
+			Rand:        func() float64 { return 0.5 },
+			Sleep:       func(time.Duration) {},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.do(http.MethodGet, "/v1/model", nil, nil, nil, idemSafe)
+		var re *RetryExhaustedError
+		if !errors.As(err, &re) {
+			t.Fatalf("error %T is not a *RetryExhaustedError", err)
+		}
+		if !re.BudgetExhausted || re.Budget != 20*time.Millisecond {
+			t.Errorf("budget fields %+v", re)
+		}
+		if re.Attempts != 3 || re.LastStatus != http.StatusInternalServerError {
+			t.Errorf("fields %+v, want Attempts=3 LastStatus=500", re)
+		}
+	})
+	t.Run("transport-level", func(t *testing.T) {
+		// A listener that is immediately closed: connection refused on every
+		// attempt, so LastStatus stays 0 — the fleet failover signal.
+		hs := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+		url := hs.URL
+		hs.Close()
+		c, err := New(url, nil, WithRetryPolicy(RetryPolicy{
+			MaxAttempts: 2,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    time.Microsecond,
+			Sleep:       func(time.Duration) {},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.do(http.MethodGet, "/v1/model", nil, nil, nil, idemSafe)
+		var re *RetryExhaustedError
+		if !errors.As(err, &re) {
+			t.Fatalf("error %T is not a *RetryExhaustedError", err)
+		}
+		if re.LastStatus != 0 || re.Attempts != 2 {
+			t.Errorf("fields %+v, want LastStatus=0 Attempts=2", re)
+		}
+		if !transportExhausted(err) {
+			t.Error("transportExhausted = false for a refused connection")
+		}
+	})
 }
 
 func TestMaxAttemptsExhaustion(t *testing.T) {
@@ -199,7 +332,7 @@ func TestMaxAttemptsExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.do(http.MethodGet, "/v1/model", nil, nil, idemSafe)
+	err = c.do(http.MethodGet, "/v1/model", nil, nil, nil, idemSafe)
 	if err == nil {
 		t.Fatal("always-503 call succeeded")
 	}

@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("episode-key-%d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n2", "n0", "n1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		oa, ok := a.OwnerOf(k)
+		if !ok {
+			t.Fatal("empty ring?")
+		}
+		ob, _ := b.OwnerOf(k)
+		if oa != ob {
+			t.Fatalf("owner of %q differs by member order: %q vs %q", k, oa, ob)
+		}
+		// And stable across repeated queries.
+		if again, _ := a.OwnerOf(k); again != oa {
+			t.Fatalf("owner of %q unstable: %q vs %q", k, oa, again)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty member id accepted")
+	}
+	if _, err := NewRing([]string{"a"}, -1); err == nil {
+		t.Error("negative vnodes accepted")
+	}
+	empty, err := NewRing(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := empty.OwnerOf("k"); ok {
+		t.Error("empty ring returned an owner")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"n0", "n1", "n2", "n3"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for _, k := range keys(n) {
+		o, _ := r.OwnerOf(k)
+		counts[o]++
+	}
+	want := n / len(members)
+	for _, m := range members {
+		if c := counts[m]; c < want/2 || c > want*2 {
+			t.Errorf("member %s owns %d of %d keys (expected around %d)", m, c, n, want)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property the handoff
+// design rests on: removing one member moves only that member's keys.
+func TestRingMinimalMovement(t *testing.T) {
+	full, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"n0", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(5000) {
+		before, _ := full.OwnerOf(k)
+		after, _ := reduced.OwnerOf(k)
+		if before != "n1" && after != before {
+			t.Fatalf("key %q moved from surviving member %q to %q", k, before, after)
+		}
+		if before == "n1" && after == "n1" {
+			t.Fatalf("key %q still owned by removed member", k)
+		}
+	}
+}
+
+func TestMembershipFlipsRebuildRing(t *testing.T) {
+	members := []Member{
+		{ID: "a", Addr: "http://127.0.0.1:1"},
+		{ID: "b", Addr: "http://127.0.0.1:2"},
+		{ID: "c", Addr: "http://127.0.0.1:3"},
+	}
+	m, err := NewMembership(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Version(); v != 0 {
+		t.Errorf("fresh version %d", v)
+	}
+
+	// Find a key owned by b, then kill b: the key must move, and keys owned
+	// by a and c must not.
+	var bKey string
+	owners := map[string]string{}
+	for _, k := range keys(2000) {
+		o, ok := m.Owner(k)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		owners[k] = o.ID
+		if o.ID == "b" && bKey == "" {
+			bKey = k
+		}
+	}
+	if bKey == "" {
+		t.Fatal("no key landed on member b")
+	}
+
+	changed, err := m.MarkDown("b")
+	if err != nil || !changed {
+		t.Fatalf("MarkDown = %v, %v", changed, err)
+	}
+	if changed, _ := m.MarkDown("b"); changed {
+		t.Error("second MarkDown reported a change")
+	}
+	if !m.IsDown("b") {
+		t.Error("b not down")
+	}
+	if got := m.DownMembers(); len(got) != 1 || got[0].ID != "b" {
+		t.Errorf("DownMembers = %+v", got)
+	}
+	if o, ok := m.Owner(bKey); !ok || o.ID == "b" {
+		t.Errorf("key still owned by down member: %+v ok=%v", o, ok)
+	}
+	for k, before := range owners {
+		o, _ := m.Owner(k)
+		if before != "b" && o.ID != before {
+			t.Fatalf("key %q moved from live member %q to %q on b's failure", k, before, o.ID)
+		}
+	}
+
+	if _, err := m.MarkDown("nope"); err == nil {
+		t.Error("unknown member marked down")
+	}
+
+	// Recovery restores the original assignment exactly.
+	if changed, err := m.MarkUp("b"); err != nil || !changed {
+		t.Fatalf("MarkUp = %v, %v", changed, err)
+	}
+	for k, before := range owners {
+		if o, _ := m.Owner(k); o.ID != before {
+			t.Fatalf("key %q owned by %q after recovery, was %q", k, o.ID, before)
+		}
+	}
+	if v := m.Version(); v != 2 {
+		t.Errorf("version after two flips = %d", v)
+	}
+
+	st := m.Snapshot()
+	if len(st) != 3 || !st[0].Up || st[0].ID != "a" {
+		t.Errorf("snapshot %+v", st)
+	}
+	if idx, ok := m.Index("b"); !ok || idx != 1 {
+		t.Errorf("Index(b) = %d, %v", idx, ok)
+	}
+	if _, ok := m.Index("zz"); ok {
+		t.Error("Index of unknown member ok")
+	}
+}
+
+func TestMembershipAllDown(t *testing.T) {
+	m, err := NewMembership([]Member{{ID: "only", Addr: "x"}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MarkDown("only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Owner("k"); ok {
+		t.Error("owner returned with every member down")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers("a=http://h1:1, b=h2:2 ,c=https://h3:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{ID: "a", Addr: "http://h1:1"},
+		{ID: "b", Addr: "http://h2:2"},
+		{ID: "c", Addr: "https://h3:3"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParsePeers = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "  ", "a", "=x", "a=", "a=b=c,"} {
+		if _, err := ParsePeers(bad); err == nil && bad != "a=b=c," {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}

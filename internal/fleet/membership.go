@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Member is one fleet node: a stable ID (the hash-ring identity) and the
+// base URL its recovery API is served on.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// MemberStatus is a Member plus its liveness in one membership view.
+type MemberStatus struct {
+	Member
+	Up bool `json:"up"`
+}
+
+// Membership is one node's (or client's) local view of the fleet: the
+// static member list plus which members are currently considered up. The
+// ownership ring is built over the up members only, so marking a member
+// down reassigns exactly its key ranges to the survivors (consistent
+// hashing moves no other keys). Safe for concurrent use.
+//
+// Views are deliberately local — there is no gossip or consensus here.
+// Divergent views are reconciled by the server's owner redirects and the
+// client's failover-on-refusal, both of which converge on whoever actually
+// has the episode's checkpoints.
+type Membership struct {
+	mu      sync.RWMutex
+	members map[string]Member
+	order   []string // member IDs, sorted — the basis for Index
+	down    map[string]bool
+	vnodes  int
+	ring    *Ring // over up members only
+	version uint64
+}
+
+// NewMembership builds a view over the given members, all initially up,
+// with vnodes virtual nodes per member (0 means DefaultVirtualNodes).
+func NewMembership(members []Member, vnodes int) (*Membership, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: empty member list")
+	}
+	m := &Membership{
+		members: make(map[string]Member, len(members)),
+		down:    make(map[string]bool),
+		vnodes:  vnodes,
+	}
+	for _, mem := range members {
+		if mem.ID == "" {
+			return nil, fmt.Errorf("fleet: member with empty id (addr %q)", mem.Addr)
+		}
+		if _, ok := m.members[mem.ID]; ok {
+			return nil, fmt.Errorf("fleet: duplicate member id %q", mem.ID)
+		}
+		m.members[mem.ID] = mem
+		m.order = append(m.order, mem.ID)
+	}
+	sort.Strings(m.order)
+	if err := m.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// rebuildLocked rebuilds the ring over the up members. Caller holds m.mu.
+func (m *Membership) rebuildLocked() error {
+	up := make([]string, 0, len(m.order))
+	for _, id := range m.order {
+		if !m.down[id] {
+			up = append(up, id)
+		}
+	}
+	ring, err := NewRing(up, m.vnodes)
+	if err != nil {
+		return err
+	}
+	m.ring = ring
+	return nil
+}
+
+// Owner returns the up member owning key. ok is false when every member is
+// down.
+func (m *Membership) Owner(key string) (Member, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	id, ok := m.ring.OwnerOf(key)
+	if !ok {
+		return Member{}, false
+	}
+	return m.members[id], true
+}
+
+// Member looks a member up by ID, regardless of liveness.
+func (m *Membership) Member(id string) (Member, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	mem, ok := m.members[id]
+	return mem, ok
+}
+
+// Index returns the member's position in the sorted member list — the basis
+// for carving out disjoint episode-ID ranges per member.
+func (m *Membership) Index(id string) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i := sort.SearchStrings(m.order, id)
+	if i < len(m.order) && m.order[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// IsDown reports whether the member is currently marked down in this view.
+func (m *Membership) IsDown(id string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.down[id]
+}
+
+// MarkDown flips the member to down and rebuilds the ring. It returns
+// whether the view changed; unknown members are an error.
+func (m *Membership) MarkDown(id string) (bool, error) {
+	return m.setDown(id, true)
+}
+
+// MarkUp flips the member back to up and rebuilds the ring. Note that a
+// returning member does not automatically reclaim episodes handed off while
+// it was down; with static membership that rebalance is the operator's
+// (or a future PR's) problem.
+func (m *Membership) MarkUp(id string) (bool, error) {
+	return m.setDown(id, false)
+}
+
+func (m *Membership) setDown(id string, down bool) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[id]; !ok {
+		return false, fmt.Errorf("fleet: unknown member %q", id)
+	}
+	if m.down[id] == down {
+		return false, nil
+	}
+	if down {
+		m.down[id] = true
+	} else {
+		delete(m.down, id)
+	}
+	if err := m.rebuildLocked(); err != nil {
+		// Roll the flip back so the view and ring stay consistent.
+		if down {
+			delete(m.down, id)
+		} else {
+			m.down[id] = true
+		}
+		_ = m.rebuildLocked()
+		return false, err
+	}
+	m.version++
+	return true, nil
+}
+
+// DownMembers returns the members currently marked down, sorted by ID.
+func (m *Membership) DownMembers() []Member {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Member
+	for _, id := range m.order {
+		if m.down[id] {
+			out = append(out, m.members[id])
+		}
+	}
+	return out
+}
+
+// Snapshot returns every member with its liveness, sorted by ID.
+func (m *Membership) Snapshot() []MemberStatus {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]MemberStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, MemberStatus{Member: m.members[id], Up: !m.down[id]})
+	}
+	return out
+}
+
+// Version counts liveness flips, so pollers can cheaply detect change.
+func (m *Membership) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// ParsePeers parses a -fleet-peers specification: a comma-separated list of
+// id=addr pairs, e.g. "a=http://10.0.0.1:7947,b=http://10.0.0.2:7947".
+// Addresses without a scheme get http://.
+func ParsePeers(spec string) ([]Member, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("fleet: empty peer list")
+	}
+	var out []Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("fleet: bad peer %q (want id=addr)", part)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		out = append(out, Member{ID: id, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fleet: empty peer list")
+	}
+	return out, nil
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,7 +28,8 @@ type EpisodeState struct {
 	Controller string `json:"controller"`
 	// ClientKey is the client-generated idempotency key the episode was
 	// started with, if any, so duplicate start requests keep deduplicating
-	// across a restart.
+	// across a restart. In fleet mode it doubles as the episode's routing
+	// key: survivors claim a dead member's episodes by hashing this key.
 	ClientKey string `json:"clientKey,omitempty"`
 	// Steps is the number of observations applied so far.
 	Steps int `json:"steps"`
@@ -39,17 +41,88 @@ type EpisodeState struct {
 	History []Step `json:"history"`
 }
 
+// DecodeEpisodeState decodes and validates one stored snapshot. It is the
+// trust boundary for everything read back from a checkpoint store: a
+// snapshot that decodes but violates the episode invariants (id zero, step
+// count disagreeing with the history, non-finite or negative belief mass,
+// negative action/observation indices) is rejected here rather than fed to
+// a controller replay.
+func DecodeEpisodeState(data []byte) (EpisodeState, error) {
+	var st EpisodeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return EpisodeState{}, err
+	}
+	if err := st.validate(); err != nil {
+		return EpisodeState{}, err
+	}
+	return st, nil
+}
+
+func (st *EpisodeState) validate() error {
+	if st.EpisodeID == 0 {
+		return fmt.Errorf("episode id 0")
+	}
+	if st.Steps < 0 {
+		return fmt.Errorf("negative step count %d", st.Steps)
+	}
+	if st.Steps != len(st.History) {
+		return fmt.Errorf("step count %d disagrees with history length %d", st.Steps, len(st.History))
+	}
+	for i, p := range st.Belief {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return fmt.Errorf("belief[%d] = %v", i, p)
+		}
+	}
+	for i, s := range st.History {
+		if s.Action < 0 || s.Observation < 0 {
+			return fmt.Errorf("history[%d] = (%d, %d)", i, s.Action, s.Observation)
+		}
+	}
+	return nil
+}
+
+// CorruptCheckpoint describes one stored snapshot that could not be decoded.
+// Stores quarantine such entries (a directory store renames the file, a log
+// store skips the record) so one bad snapshot never blocks the rest and is
+// never silently rewritten.
+type CorruptCheckpoint struct {
+	// Name identifies the bad entry in store terms (file name, record offset).
+	Name string
+	// EpisodeID is the episode the entry claimed to belong to, 0 when even
+	// that could not be determined.
+	EpisodeID uint64
+	// Err is the decode or validation failure.
+	Err error
+}
+
 // Checkpointer persists episode snapshots across daemon restarts. Save is
 // called after every state-changing request (write-ahead with respect to the
 // response), Delete when an episode terminates or is abandoned, and LoadAll
-// once at startup.
+// once at startup. LoadAll returns the good snapshots sorted by episode id
+// alongside any corrupt entries it quarantined; the error is reserved for
+// store-level failures (unreadable directory, unopenable log), never for
+// individual bad snapshots.
 //
 // Implementations must tolerate concurrent Save/Delete calls for *different*
 // episodes; calls for the same episode are serialized by the server.
 type Checkpointer interface {
 	Save(st EpisodeState) error
 	Delete(id uint64) error
-	LoadAll() ([]EpisodeState, error)
+	LoadAll() ([]EpisodeState, []CorruptCheckpoint, error)
+}
+
+// OpenCheckpointStore opens a checkpoint store of the named kind over dir:
+// "dir" (one atomically-renamed JSON file per episode) or "log" (a single
+// fsynced append-only log with CRC-framed records and compaction).
+func OpenCheckpointStore(kind, dir string) (Checkpointer, error) {
+	switch kind {
+	case "", "dir":
+		return NewDirCheckpointer(dir)
+	case "log":
+		return NewLogCheckpointer(dir)
+	default:
+		return nil, fmt.Errorf("server: unknown checkpoint store %q (want dir or log)", kind)
+	}
 }
 
 // DirCheckpointer stores one JSON file per episode in a directory
@@ -116,17 +189,25 @@ func (c *DirCheckpointer) Delete(id uint64) error {
 }
 
 // LoadAll implements Checkpointer, returning snapshots sorted by episode id.
-// Corrupt files do not abort the load: the good snapshots are returned
-// alongside an aggregate error describing the bad ones.
-func (c *DirCheckpointer) LoadAll() ([]EpisodeState, error) {
+// A file that cannot be decoded is quarantined: renamed to
+// episode-<id>.json.corrupt (so a later Save of the same episode can never
+// silently overwrite the evidence, and a later LoadAll is not blocked by
+// it) and reported as a CorruptCheckpoint.
+func (c *DirCheckpointer) LoadAll() ([]EpisodeState, []CorruptCheckpoint, error) {
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
-		return nil, fmt.Errorf("server: read checkpoint dir: %w", err)
+		return nil, nil, fmt.Errorf("server: read checkpoint dir: %w", err)
 	}
 	var (
-		out  []EpisodeState
-		errs []string
+		out     []EpisodeState
+		corrupt []CorruptCheckpoint
 	)
+	quarantine := func(name string, id uint64, err error) {
+		if rerr := os.Rename(filepath.Join(c.dir, name), filepath.Join(c.dir, name+".corrupt")); rerr != nil {
+			err = fmt.Errorf("%w (quarantine failed: %v)", err, rerr)
+		}
+		corrupt = append(corrupt, CorruptCheckpoint{Name: name, EpisodeID: id, Err: err})
+	}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasPrefix(name, "episode-") || !strings.HasSuffix(name, ".json") {
@@ -135,28 +216,26 @@ func (c *DirCheckpointer) LoadAll() ([]EpisodeState, error) {
 		idText := strings.TrimSuffix(strings.TrimPrefix(name, "episode-"), ".json")
 		id, err := strconv.ParseUint(idText, 10, 64)
 		if err != nil {
-			errs = append(errs, fmt.Sprintf("%s: bad id", name))
+			quarantine(name, 0, fmt.Errorf("bad id in file name"))
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(c.dir, name))
 		if err != nil {
-			errs = append(errs, fmt.Sprintf("%s: %v", name, err))
+			// Unreadable, not undecodable: leave the file alone and report it.
+			corrupt = append(corrupt, CorruptCheckpoint{Name: name, EpisodeID: id, Err: err})
 			continue
 		}
-		var st EpisodeState
-		if err := json.Unmarshal(data, &st); err != nil {
-			errs = append(errs, fmt.Sprintf("%s: %v", name, err))
+		st, err := DecodeEpisodeState(data)
+		if err != nil {
+			quarantine(name, id, err)
 			continue
 		}
 		if st.EpisodeID != id {
-			errs = append(errs, fmt.Sprintf("%s: id %d inside file", name, st.EpisodeID))
+			quarantine(name, id, fmt.Errorf("id %d inside file", st.EpisodeID))
 			continue
 		}
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].EpisodeID < out[j].EpisodeID })
-	if len(errs) > 0 {
-		return out, fmt.Errorf("server: %d corrupt checkpoint(s): %s", len(errs), strings.Join(errs, "; "))
-	}
-	return out, nil
+	return out, corrupt, nil
 }

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,58 +16,126 @@ import (
 	"bpomdp/internal/pomdp"
 )
 
-func TestDirCheckpointerRoundTrip(t *testing.T) {
-	cp, err := NewDirCheckpointer(filepath.Join(t.TempDir(), "ckpt"))
+// storeKinds are the Checkpointer implementations every conformance test
+// runs against; the log store must pass the exact suite the dir store does.
+var storeKinds = []string{"dir", "log"}
+
+func openStore(t *testing.T, kind, dir string) Checkpointer {
+	t.Helper()
+	cp, err := OpenCheckpointStore(kind, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := EpisodeState{EpisodeID: 2, Controller: "bounded(depth=1)", Steps: 1,
-		Belief: []float64{0.5, 0.5}, History: []Step{{Action: 2, Observation: 1}}}
-	b := EpisodeState{EpisodeID: 1, ClientKey: "k", Steps: 0, Belief: []float64{1, 0}}
-	for _, st := range []EpisodeState{a, b} {
-		if err := cp.Save(st); err != nil {
-			t.Fatal(err)
-		}
+	return cp
+}
+
+func TestOpenCheckpointStore(t *testing.T) {
+	dir := t.TempDir()
+	if cp := openStore(t, "", filepath.Join(dir, "a")); cp == nil {
+		t.Fatal("nil store")
+	} else if _, ok := cp.(*DirCheckpointer); !ok {
+		t.Errorf("default store is %T", cp)
 	}
-	got, err := cp.LoadAll()
-	if err != nil {
-		t.Fatal(err)
+	if cp := openStore(t, "log", filepath.Join(dir, "b")); cp == nil {
+		t.Fatal("nil store")
+	} else if _, ok := cp.(*LogCheckpointer); !ok {
+		t.Errorf("log store is %T", cp)
 	}
-	if len(got) != 2 || got[0].EpisodeID != 1 || got[1].EpisodeID != 2 {
-		t.Fatalf("LoadAll = %+v", got)
+	if _, err := OpenCheckpointStore("zebra", dir); err == nil {
+		t.Error("unknown store kind accepted")
 	}
-	if !reflect.DeepEqual(got[1], a) {
-		t.Errorf("round-trip mismatch: %+v vs %+v", got[1], a)
-	}
-	// Overwrite is atomic and idempotent.
-	a.Steps = 2
-	a.History = append(a.History, Step{Action: 0, Observation: 0})
-	if err := cp.Save(a); err != nil {
-		t.Fatal(err)
-	}
-	got, err = cp.LoadAll()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 2 || got[1].Steps != 2 {
-		t.Fatalf("after overwrite: %+v", got)
-	}
-	if err := cp.Delete(2); err != nil {
-		t.Fatal(err)
-	}
-	if err := cp.Delete(2); err != nil {
-		t.Errorf("double delete: %v", err)
-	}
-	got, err = cp.LoadAll()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 1 || got[0].EpisodeID != 1 {
-		t.Fatalf("after delete: %+v", got)
+	if _, err := OpenCheckpointStore("dir", ""); err == nil {
+		t.Error("empty dir accepted")
 	}
 }
 
-func TestDirCheckpointerCorruptFiles(t *testing.T) {
+func TestCheckpointStoreRoundTrip(t *testing.T) {
+	for _, kind := range storeKinds {
+		t.Run(kind, func(t *testing.T) {
+			cp := openStore(t, kind, filepath.Join(t.TempDir(), "ckpt"))
+			a := EpisodeState{EpisodeID: 2, Controller: "bounded(depth=1)", Steps: 1,
+				Belief: []float64{0.5, 0.5}, History: []Step{{Action: 2, Observation: 1}}}
+			b := EpisodeState{EpisodeID: 1, ClientKey: "k", Steps: 0, Belief: []float64{1, 0}}
+			for _, st := range []EpisodeState{a, b} {
+				if err := cp.Save(st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, corrupt, err := cp.LoadAll()
+			if err != nil || len(corrupt) != 0 {
+				t.Fatalf("LoadAll err=%v corrupt=%+v", err, corrupt)
+			}
+			if len(got) != 2 || got[0].EpisodeID != 1 || got[1].EpisodeID != 2 {
+				t.Fatalf("LoadAll = %+v", got)
+			}
+			if !reflect.DeepEqual(got[1], a) {
+				t.Errorf("round-trip mismatch: %+v vs %+v", got[1], a)
+			}
+			// Overwrite is atomic and idempotent.
+			a.Steps = 2
+			a.History = append(a.History, Step{Action: 0, Observation: 0})
+			if err := cp.Save(a); err != nil {
+				t.Fatal(err)
+			}
+			got, _, err = cp.LoadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 || got[1].Steps != 2 {
+				t.Fatalf("after overwrite: %+v", got)
+			}
+			if err := cp.Delete(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.Delete(2); err != nil {
+				t.Errorf("double delete: %v", err)
+			}
+			got, _, err = cp.LoadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 1 || got[0].EpisodeID != 1 {
+				t.Fatalf("after delete: %+v", got)
+			}
+		})
+	}
+}
+
+// TestCheckpointStoreReopen: a second store over the same directory (a
+// restart) sees exactly what the first persisted.
+func TestCheckpointStoreReopen(t *testing.T) {
+	for _, kind := range storeKinds {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			cp := openStore(t, kind, dir)
+			for id := uint64(1); id <= 3; id++ {
+				if err := cp.Save(EpisodeState{EpisodeID: id, Belief: []float64{1}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := cp.Delete(2); err != nil {
+				t.Fatal(err)
+			}
+			if lc, ok := cp.(*LogCheckpointer); ok {
+				if err := lc.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, corrupt, err := openStore(t, kind, dir).LoadAll()
+			if err != nil || len(corrupt) != 0 {
+				t.Fatalf("reopen LoadAll err=%v corrupt=%+v", err, corrupt)
+			}
+			if len(got) != 2 || got[0].EpisodeID != 1 || got[1].EpisodeID != 3 {
+				t.Fatalf("reopen state %+v", got)
+			}
+		})
+	}
+}
+
+// TestDirCheckpointerQuarantinesCorrupt is the truncated-JSON regression
+// test: one bad file must not block the others, must be renamed to .corrupt
+// (never silently rewritten), and must be reported in the corrupt list.
+func TestDirCheckpointerQuarantinesCorrupt(t *testing.T) {
 	dir := t.TempDir()
 	cp, err := NewDirCheckpointer(dir)
 	if err != nil {
@@ -74,126 +144,404 @@ func TestDirCheckpointerCorruptFiles(t *testing.T) {
 	if err := cp.Save(EpisodeState{EpisodeID: 7, Belief: []float64{1}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "episode-8.json"), []byte("{garbage"), 0o644); err != nil {
+	// A write torn mid-JSON (truncated) and a decodable-but-invalid snapshot.
+	if err := os.WriteFile(filepath.Join(dir, "episode-8.json"), []byte(`{"episodeId":8,"steps":1,"hist`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cp.LoadAll()
-	if err == nil {
-		t.Error("corrupt checkpoint not reported")
+	if err := os.WriteFile(filepath.Join(dir, "episode-9.json"), []byte(`{"episodeId":9,"steps":3,"history":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt, err := cp.LoadAll()
+	if err != nil {
+		t.Fatalf("store-level error for per-file corruption: %v", err)
 	}
 	if len(got) != 1 || got[0].EpisodeID != 7 {
 		t.Errorf("good checkpoint lost: %+v", got)
 	}
+	if len(corrupt) != 2 {
+		t.Fatalf("corrupt = %+v", corrupt)
+	}
+	ids := map[uint64]bool{}
+	for _, c := range corrupt {
+		ids[c.EpisodeID] = true
+		if c.Err == nil || c.Name == "" {
+			t.Errorf("corrupt entry missing detail: %+v", c)
+		}
+	}
+	if !ids[8] || !ids[9] {
+		t.Errorf("corrupt episodes %v", ids)
+	}
+	for _, id := range []int{8, 9} {
+		name := fmt.Sprintf("episode-%d.json", id)
+		if _, err := os.Stat(filepath.Join(dir, name+".corrupt")); err != nil {
+			t.Errorf("quarantine file for %d: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("original %s still present (err %v)", name, err)
+		}
+	}
+	// Quarantined files no longer appear on the next load, and a fresh save
+	// of the same episode does not disturb the preserved evidence.
+	if err := cp.Save(EpisodeState{EpisodeID: 8, Belief: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt, err = cp.LoadAll()
+	if err != nil || len(corrupt) != 0 {
+		t.Fatalf("second LoadAll err=%v corrupt=%+v", err, corrupt)
+	}
+	if len(got) != 2 {
+		t.Errorf("after requarantine: %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "episode-8.json.corrupt")); err != nil {
+		t.Errorf("quarantined evidence gone: %v", err)
+	}
+}
+
+// appendLogFrame writes one raw framed record, optionally with a corrupted
+// checksum, straight into the log file — simulating what a crash or bit rot
+// leaves behind.
+func appendLogFrame(t *testing.T, path string, payload []byte, breakCRC bool) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	sum := crc32.ChecksumIEEE(payload)
+	if breakCRC {
+		sum ^= 0xdeadbeef
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], sum)
+	copy(buf[8:], payload)
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogStoreTornTail: a crash mid-append leaves a half-written frame; the
+// next open must truncate it, keep everything before it, and accept new
+// appends.
+func TestLogStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, logFileName)
+	cp, err := NewLogCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 2; id++ {
+		if err := cp.Save(EpisodeState{EpisodeID: id, Belief: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cleanSize := fileSize(t, logPath)
+
+	tails := map[string][]byte{
+		"half-header":  {0x10, 0x00},
+		"half-payload": {0x40, 0x00, 0x00, 0x00, 0x11, 0x22, 0x33, 0x44, '{', '"'},
+	}
+	for name, tail := range tails {
+		t.Run(name, func(t *testing.T) {
+			f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			reopened, err := NewLogCheckpointer(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reopened.Close()
+			got, corrupt, err := reopened.LoadAll()
+			if err != nil || len(corrupt) != 0 {
+				t.Fatalf("LoadAll err=%v corrupt=%+v", err, corrupt)
+			}
+			if len(got) != 2 {
+				t.Fatalf("torn tail lost records: %+v", got)
+			}
+			if sz := fileSize(t, logPath); sz != cleanSize {
+				t.Errorf("file size %d after truncation, want %d", sz, cleanSize)
+			}
+			// The store keeps working after truncation.
+			if err := reopened.Save(EpisodeState{EpisodeID: 3, Belief: []float64{1}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := reopened.Delete(3); err != nil {
+				t.Fatal(err)
+			}
+			if sz := fileSize(t, logPath); sz <= cleanSize {
+				t.Errorf("appends after truncation did not land (size %d)", sz)
+			}
+			// Reset for the next subtest.
+			if err := os.Truncate(logPath, cleanSize); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// A checksum-failing full frame is also a torn tail: everything from it
+	// on is dropped.
+	appendLogFrame(t, logPath, []byte(`{"op":"delete","episodeId":1}`), true)
+	reopened, err := NewLogCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, _, err := reopened.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("checksum-failing frame applied: %+v", got)
+	}
+}
+
+// TestLogStoreCorruptRecord: a frame whose checksum passes but whose payload
+// is not a valid record is skipped and reported, and records after it still
+// apply — unlike a torn tail, it does not end the log.
+func TestLogStoreCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, logFileName)
+	cp, err := NewLogCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(EpisodeState{EpisodeID: 1, Belief: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendLogFrame(t, logPath, []byte(`not json at all`), false)
+	appendLogFrame(t, logPath, []byte(`{"op":"warp","episodeId":4}`), false)
+	appendLogFrame(t, logPath, []byte(`{"op":"save","episodeId":5,"state":{"episodeId":5,"steps":2,"history":[]}}`), false)
+	cp2, err := NewLogCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if err := cp2.Save(EpisodeState{EpisodeID: 2, Belief: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt, err := cp2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].EpisodeID != 1 || got[1].EpisodeID != 2 {
+		t.Errorf("live set %+v", got)
+	}
+	if len(corrupt) != 3 {
+		t.Fatalf("corrupt = %+v", corrupt)
+	}
+	for _, c := range corrupt {
+		if !strings.HasPrefix(c.Name, logFileName+"@") {
+			t.Errorf("corrupt name %q lacks offset", c.Name)
+		}
+	}
+	if corrupt[1].EpisodeID != 4 || corrupt[2].EpisodeID != 5 {
+		t.Errorf("corrupt ids %+v", corrupt)
+	}
+}
+
+// TestLogStoreCompaction: once dead bytes dominate, the log is rewritten to
+// the live set; the rewrite survives reopen.
+func TestLogStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := NewLogCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.compactMin = 4096
+	st := EpisodeState{EpisodeID: 1, Belief: []float64{0.25, 0.75}}
+	for i := 0; i < 200; i++ {
+		st.Steps = i
+		st.History = append(st.History, Step{Action: 2, Observation: 1})
+		st.Steps = len(st.History)
+		if err := cp.Save(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cp.Compactions() == 0 {
+		t.Fatal("no compaction after 200 overwrites past the threshold")
+	}
+	if err := cp.Save(EpisodeState{EpisodeID: 2, Belief: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt, err := openStore(t, "log", dir).LoadAll()
+	if err != nil || len(corrupt) != 0 {
+		t.Fatalf("LoadAll err=%v corrupt=%+v", err, corrupt)
+	}
+	if len(got) != 2 || got[0].Steps != 200 || got[1].EpisodeID != 2 {
+		t.Fatalf("post-compaction state %+v", got)
+	}
+
+	// Explicit compaction of a mostly-dead log shrinks the file.
+	for id := uint64(10); id < 60; id++ {
+		if err := cp2(t, dir).Save(EpisodeState{EpisodeID: id, Belief: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lc := cp2(t, dir)
+	for id := uint64(10); id < 60; id++ {
+		if err := lc.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := fileSize(t, filepath.Join(dir, logFileName))
+	if err := lc.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := fileSize(t, filepath.Join(dir, logFileName))
+	if after >= before {
+		t.Errorf("compaction did not shrink log: %d -> %d", before, after)
+	}
+	lc.Close()
+}
+
+// cp2 opens a log store over dir, registering cleanup-free (tests close the
+// last one they care about explicitly).
+func cp2(t *testing.T, dir string) *LogCheckpointer {
+	t.Helper()
+	lc, err := NewLogCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
 }
 
 // TestCrashRestartResume kills a server mid-episode and verifies a new
-// server over the same checkpoint directory resumes the episode with the
-// same step count and belief.
+// server over the same checkpoint store resumes the episode with the same
+// step count and belief — for both store implementations.
 func TestCrashRestartResume(t *testing.T) {
-	prep := testPrepared(t)
-	cp, err := NewDirCheckpointer(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := Config{Model: prep.Model, NewController: boundedFactory(prep), Checkpointer: cp}
-	srv1, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	hs1 := httptest.NewServer(srv1)
+	for _, kind := range storeKinds {
+		t.Run(kind, func(t *testing.T) {
+			prep := testPrepared(t)
+			dir := t.TempDir()
+			cp := openStore(t, kind, dir)
+			cfg := Config{Model: prep.Model, NewController: boundedFactory(prep), Checkpointer: cp}
+			srv1, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs1 := httptest.NewServer(srv1)
 
-	resp, err := http.Post(hs1.URL+"/v1/episodes", "application/json", strings.NewReader(`{"clientKey":"ck-1"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+			resp, err := http.Post(hs1.URL+"/v1/episodes", "application/json", strings.NewReader(`{"clientKey":"ck-1"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
 
-	// One decision + observation so the checkpoint has history.
-	resp, err = http.Get(hs1.URL + "/v1/episodes/1/decision")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var d DecisionResponse
-	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if d.Terminate {
-		t.Fatal("terminated on the first decision")
-	}
-	sc := pomdp.NewScratch(prep.Model)
-	succs := prep.Model.Successors(sc, pomdp.PointBelief(prep.Model.NumStates(), 0), d.Action)
-	body := fmt.Sprintf(`{"action":%d,"observation":%d,"stepIndex":0}`, d.Action, succs[0].Obs)
-	or, err := http.Post(hs1.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	or.Body.Close()
-	if or.StatusCode != http.StatusNoContent {
-		t.Fatalf("observation status %d", or.StatusCode)
-	}
-	var beforeBelief BeliefResponse
-	resp, err = http.Get(hs1.URL + "/v1/episodes/1/belief")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&beforeBelief); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+			// One decision + observation so the checkpoint has history.
+			resp, err = http.Get(hs1.URL + "/v1/episodes/1/decision")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d DecisionResponse
+			if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if d.Terminate {
+				t.Fatal("terminated on the first decision")
+			}
+			sc := pomdp.NewScratch(prep.Model)
+			succs := prep.Model.Successors(sc, pomdp.PointBelief(prep.Model.NumStates(), 0), d.Action)
+			body := fmt.Sprintf(`{"action":%d,"observation":%d,"stepIndex":0}`, d.Action, succs[0].Obs)
+			or, err := http.Post(hs1.URL+"/v1/episodes/1/observations", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			or.Body.Close()
+			if or.StatusCode != http.StatusNoContent {
+				t.Fatalf("observation status %d", or.StatusCode)
+			}
+			var beforeBelief BeliefResponse
+			resp, err = http.Get(hs1.URL + "/v1/episodes/1/belief")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&beforeBelief); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
 
-	// "Crash": the first server vanishes without Close (no final snapshot
-	// needed — every observation already checkpointed write-ahead).
-	hs1.Close()
+			// "Crash": the first server vanishes without Close (no final
+			// snapshot needed — every observation already checkpointed
+			// write-ahead). The store handle is deliberately left unclosed.
+			hs1.Close()
 
-	srv2, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep := srv2.Restored()
-	if rep.Resumed != 1 || len(rep.Failed) != 0 || rep.LoadErr != nil {
-		t.Fatalf("restore report %+v", rep)
-	}
-	hs2 := httptest.NewServer(srv2)
-	defer hs2.Close()
+			cfg.Checkpointer = openStore(t, kind, dir)
+			srv2, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := srv2.Restored()
+			if rep.Resumed != 1 || len(rep.Failed) != 0 || rep.LoadErr != nil {
+				t.Fatalf("restore report %+v", rep)
+			}
+			hs2 := httptest.NewServer(srv2)
+			defer hs2.Close()
 
-	// Same id, same step count, same belief, and the idempotency key still
-	// deduplicates.
-	resp, err = http.Get(hs2.URL + "/v1/episodes/1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var st StatusResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !st.Open || st.Steps != 1 {
-		t.Errorf("resumed status %+v", st)
-	}
-	var afterBelief BeliefResponse
-	resp, err = http.Get(hs2.URL + "/v1/episodes/1/belief")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&afterBelief); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !reflect.DeepEqual(beforeBelief, afterBelief) {
-		t.Errorf("belief changed across restart: %v vs %v", beforeBelief, afterBelief)
-	}
-	resp, err = http.Post(hs2.URL+"/v1/episodes", "application/json", strings.NewReader(`{"clientKey":"ck-1"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var again StartResponse
-	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || again.EpisodeID != 1 {
-		t.Errorf("clientKey lost across restart: status %d id %d", resp.StatusCode, again.EpisodeID)
+			// Same id, same step count, same belief, and the idempotency key
+			// still deduplicates.
+			resp, err = http.Get(hs2.URL + "/v1/episodes/1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st StatusResponse
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if !st.Open || st.Steps != 1 {
+				t.Errorf("resumed status %+v", st)
+			}
+			var afterBelief BeliefResponse
+			resp, err = http.Get(hs2.URL + "/v1/episodes/1/belief")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&afterBelief); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if !reflect.DeepEqual(beforeBelief, afterBelief) {
+				t.Errorf("belief changed across restart: %v vs %v", beforeBelief, afterBelief)
+			}
+			resp, err = http.Post(hs2.URL+"/v1/episodes", "application/json", strings.NewReader(`{"clientKey":"ck-1"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var again StartResponse
+			if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || again.EpisodeID != 1 {
+				t.Errorf("clientKey lost across restart: status %d id %d", resp.StatusCode, again.EpisodeID)
+			}
+		})
 	}
 }
 
@@ -279,48 +627,50 @@ func TestReplayDeterminism(t *testing.T) {
 }
 
 func TestRestoreSkipsBadCheckpoints(t *testing.T) {
-	prep := testPrepared(t)
-	cp, err := NewDirCheckpointer(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	// A checkpoint whose history is impossible under the model: replay must
-	// fail, the episode must be reported, and the server must still come up.
-	bad := EpisodeState{EpisodeID: 5, Steps: 1, History: []Step{{Action: 2, Observation: 40}}}
-	if err := cp.Save(bad); err != nil {
-		t.Fatal(err)
-	}
-	good := EpisodeState{EpisodeID: 9, Steps: 0}
-	if err := cp.Save(good); err != nil {
-		t.Fatal(err)
-	}
-	srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep), Checkpointer: cp})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep := srv.Restored()
-	if rep.Resumed != 1 {
-		t.Errorf("resumed %d, want 1", rep.Resumed)
-	}
-	if len(rep.Failed) != 1 || rep.Failed[0].EpisodeID != 5 {
-		t.Errorf("failed %+v", rep.Failed)
-	}
-	if srv.OpenEpisodes() != 1 {
-		t.Errorf("open episodes = %d", srv.OpenEpisodes())
-	}
-	// New episodes must not collide with restored ids.
-	hs := httptest.NewServer(srv)
-	defer hs.Close()
-	resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var out StartResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if out.EpisodeID <= 9 {
-		t.Errorf("new episode id %d collides with restored range", out.EpisodeID)
+	for _, kind := range storeKinds {
+		t.Run(kind, func(t *testing.T) {
+			prep := testPrepared(t)
+			cp := openStore(t, kind, t.TempDir())
+			// A checkpoint whose history is impossible under the model: replay
+			// must fail, the episode must be reported, and the server must
+			// still come up.
+			bad := EpisodeState{EpisodeID: 5, Steps: 1, History: []Step{{Action: 2, Observation: 40}}}
+			if err := cp.Save(bad); err != nil {
+				t.Fatal(err)
+			}
+			good := EpisodeState{EpisodeID: 9, Steps: 0}
+			if err := cp.Save(good); err != nil {
+				t.Fatal(err)
+			}
+			srv, err := New(Config{Model: prep.Model, NewController: boundedFactory(prep), Checkpointer: cp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := srv.Restored()
+			if rep.Resumed != 1 {
+				t.Errorf("resumed %d, want 1", rep.Resumed)
+			}
+			if len(rep.Failed) != 1 || rep.Failed[0].EpisodeID != 5 {
+				t.Errorf("failed %+v", rep.Failed)
+			}
+			if srv.OpenEpisodes() != 1 {
+				t.Errorf("open episodes = %d", srv.OpenEpisodes())
+			}
+			// New episodes must not collide with restored ids.
+			hs := httptest.NewServer(srv)
+			defer hs.Close()
+			resp, err := http.Post(hs.URL+"/v1/episodes", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out StartResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if out.EpisodeID <= 9 {
+				t.Errorf("new episode id %d collides with restored range", out.EpisodeID)
+			}
+		})
 	}
 }

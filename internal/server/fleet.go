@@ -1,0 +1,336 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"bpomdp/internal/fleet"
+)
+
+// Fleet request headers.
+const (
+	// HeaderOwner names the member a redirected request belongs to, so a
+	// client can repair its membership view from the redirect alone.
+	HeaderOwner = "X-Bpomdp-Owner"
+	// HeaderEpisodeKey carries the episode's routing key (its clientKey) on
+	// episode-scoped requests. Episode ids alone don't identify an owner —
+	// only the key hashes onto the ring — so fleet-aware clients send it on
+	// every request to let a non-owner redirect instead of 404ing.
+	HeaderEpisodeKey = "X-Bpomdp-Episode-Key"
+)
+
+// FleetConfig turns a Server into one member of a recovery fleet. Episode
+// ownership is decided by the shared hash ring; requests for keys this
+// member does not own are redirected (307 + X-Bpomdp-Owner) to the owner,
+// and when a member is marked down this member adopts the episodes it now
+// owns out of the dead member's checkpoint store via the ordinary
+// crash-restart replay path.
+type FleetConfig struct {
+	// Self is this member's id; must appear in Membership.
+	Self string
+	// Membership is this node's view of the fleet. It may be shared with
+	// other components (health probes, admin tooling) — the server only
+	// flips it through MarkMemberDown/MarkMemberUp.
+	Membership *fleet.Membership
+	// StoreFor opens (read-write) the checkpoint store of another member,
+	// used to claim a down member's episodes. Required for handoff; when nil
+	// this member redirects but never adopts.
+	StoreFor func(memberID string) (Checkpointer, error)
+}
+
+// episodeIDRangeBits is how far member indices are shifted to form
+// EpisodeIDBase: each member allocates ids in its own disjoint 48-bit range,
+// so an adopted episode keeps its original id without ever colliding with
+// the adopter's allocator.
+const episodeIDRangeBits = 48
+
+// EpisodeIDBaseFor returns the id-range base for the fleet member at the
+// given sorted-membership index.
+func EpisodeIDBaseFor(memberIndex int) uint64 {
+	return uint64(memberIndex) << episodeIDRangeBits
+}
+
+// sameIDRange reports whether id was allocated from the range starting at
+// base.
+func sameIDRange(id, base uint64) bool {
+	return id>>episodeIDRangeBits == base>>episodeIDRangeBits
+}
+
+// validateFleet checks the fleet configuration and derives EpisodeIDBase.
+// Called by New.
+func validateFleet(cfg *Config) error {
+	f := cfg.Fleet
+	if f == nil {
+		return nil
+	}
+	if f.Membership == nil {
+		return fmt.Errorf("server: fleet config without membership")
+	}
+	idx, ok := f.Membership.Index(f.Self)
+	if !ok {
+		return fmt.Errorf("server: fleet self %q is not a member", f.Self)
+	}
+	cfg.EpisodeIDBase = EpisodeIDBaseFor(idx)
+	return nil
+}
+
+func (s *Server) fleetEnabled() bool { return s.cfg.Fleet != nil }
+
+// redirectToOwner answers a request for a key this member does not own with
+// a 307 to the same URI on the owner. Go's http.Client re-sends the method
+// and body on a 307, so both idempotent GETs and keyed POSTs survive the
+// hop.
+func (s *Server) redirectToOwner(w http.ResponseWriter, r *http.Request, owner fleet.Member) {
+	s.m.redirects.Inc()
+	w.Header().Set(HeaderOwner, owner.ID)
+	w.Header().Set("Location", strings.TrimSuffix(owner.Addr, "/")+r.URL.RequestURI())
+	w.WriteHeader(http.StatusTemporaryRedirect)
+}
+
+// fleetStart routes an episode start by its clientKey. It returns true when
+// it wrote the response (redirect or routing error); false means this member
+// owns the key and the ordinary start path should proceed — after a lazy
+// adoption attempt, so a key started on a now-dead member dedupes into the
+// adopted episode instead of spawning a duplicate.
+func (s *Server) fleetStart(w http.ResponseWriter, r *http.Request, key string) bool {
+	owner, ok := s.cfg.Fleet.Membership.Owner(key)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no live fleet members in this view"))
+		return true
+	}
+	if owner.ID != s.cfg.Fleet.Self {
+		s.redirectToOwner(w, r, owner)
+		return true
+	}
+	s.mu.Lock()
+	_, known := s.byKey[key]
+	s.mu.Unlock()
+	if !known {
+		s.adoptKey(key)
+	}
+	return false
+}
+
+// fleetEpisodeMiss handles an episode-id lookup miss. handled means a
+// response was written (redirect); retry means an adoption may have brought
+// the episode in and the caller should re-run its lookup. Both false: plain
+// 404 territory.
+func (s *Server) fleetEpisodeMiss(w http.ResponseWriter, r *http.Request) (retry, handled bool) {
+	if !s.fleetEnabled() {
+		return false, false
+	}
+	key := r.Header.Get(HeaderEpisodeKey)
+	if key == "" {
+		return false, false
+	}
+	owner, ok := s.cfg.Fleet.Membership.Owner(key)
+	if !ok {
+		return false, false
+	}
+	if owner.ID != s.cfg.Fleet.Self {
+		s.redirectToOwner(w, r, owner)
+		return false, true
+	}
+	return s.adoptKey(key) > 0, false
+}
+
+// adoptKey scans the checkpoint stores of down members for episodes with the
+// given clientKey and adopts any this member now owns. Returns the number of
+// episodes adopted.
+func (s *Server) adoptKey(key string) int {
+	return s.adoptFromDown(func(st EpisodeState) bool { return st.ClientKey == key })
+}
+
+// adoptFromDown runs adoption against every down member's store.
+func (s *Server) adoptFromDown(want func(EpisodeState) bool) int {
+	f := s.cfg.Fleet
+	if f.StoreFor == nil {
+		return 0
+	}
+	total := 0
+	for _, down := range f.Membership.DownMembers() {
+		n, err := s.adoptFromMember(down.ID, want)
+		if err != nil {
+			s.m.adoptErrors.Inc()
+		}
+		total += n
+	}
+	return total
+}
+
+// adoptFromMember claims matching episodes out of one (presumed down)
+// member's checkpoint store: replay through a fresh controller, register
+// under the original id, persist into our own store, and delete from the
+// source so the member cannot resume them if it comes back — at-most-one
+// serving member per episode.
+func (s *Server) adoptFromMember(memberID string, want func(EpisodeState) bool) (int, error) {
+	f := s.cfg.Fleet
+	if f.StoreFor == nil {
+		return 0, nil
+	}
+	store, err := f.StoreFor(memberID)
+	if err != nil {
+		return 0, fmt.Errorf("open store of %q: %w", memberID, err)
+	}
+	defer func() {
+		if c, ok := store.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}()
+	states, _, err := store.LoadAll()
+	if err != nil {
+		return 0, fmt.Errorf("load store of %q: %w", memberID, err)
+	}
+	adopted := 0
+	var firstErr error
+	for _, st := range states {
+		if !want(st) {
+			continue
+		}
+		// Only claim keys this member owns in the current view; other
+		// survivors claim their own ranges.
+		if st.ClientKey != "" {
+			if owner, ok := f.Membership.Owner(st.ClientKey); !ok || owner.ID != f.Self {
+				continue
+			}
+		} else {
+			// Keyless episodes cannot be routed (no key, no ring position),
+			// so no member can claim them without two members claiming the
+			// same episode. Left for the original member's restart.
+			continue
+		}
+		if !s.adoptOne(st) {
+			continue
+		}
+		// Persist into our own store before removing the source record so a
+		// crash between the two leaves the episode recoverable (twice is
+		// fine — replay is deterministic and the duplicate loses the byKey
+		// race), never zero places.
+		s.checkpointState(st)
+		if err := store.Delete(st.EpisodeID); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		adopted++
+	}
+	return adopted, firstErr
+}
+
+// adoptOne replays one foreign snapshot and registers it locally. False when
+// the episode is already present (or its key is taken) or replay fails.
+func (s *Server) adoptOne(st EpisodeState) bool {
+	s.mu.Lock()
+	_, haveID := s.episodes[st.EpisodeID]
+	_, haveTomb := s.tombstones[st.EpisodeID]
+	_, haveKey := s.byKey[st.ClientKey]
+	s.mu.Unlock()
+	if haveID || haveTomb || haveKey {
+		return false
+	}
+	ep, err := s.replay(st)
+	if err != nil {
+		s.m.adoptErrors.Inc()
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check under the lock: a concurrent adoption or start may have won.
+	if _, ok := s.episodes[st.EpisodeID]; ok {
+		return false
+	}
+	if _, ok := s.byKey[st.ClientKey]; ok {
+		return false
+	}
+	s.episodes[st.EpisodeID] = ep
+	s.byKey[st.ClientKey] = st.EpisodeID
+	if sameIDRange(st.EpisodeID, s.cfg.EpisodeIDBase) && st.EpisodeID > s.nextID {
+		s.nextID = st.EpisodeID
+	}
+	s.m.adopted.Inc()
+	return true
+}
+
+// MarkMemberDown flips a member down in this node's view and eagerly adopts
+// every episode of its that now hashes to this member. It returns how many
+// episodes were adopted. Safe to call repeatedly (health probe + admin
+// endpoint may race); adoption is idempotent.
+func (s *Server) MarkMemberDown(id string) (int, error) {
+	f := s.cfg.Fleet
+	if f == nil {
+		return 0, fmt.Errorf("server: not in fleet mode")
+	}
+	if id == f.Self {
+		return 0, fmt.Errorf("server: refusing to mark self down")
+	}
+	if _, err := f.Membership.MarkDown(id); err != nil {
+		return 0, err
+	}
+	n, err := s.adoptFromMember(id, func(EpisodeState) bool { return true })
+	if err != nil {
+		s.m.adoptErrors.Inc()
+	}
+	return n, nil
+}
+
+// MarkMemberUp flips a member back up in this node's view. Episodes already
+// adopted stay adopted (their source records were deleted); only keys that
+// never moved flow back to the returning member.
+func (s *Server) MarkMemberUp(id string) error {
+	f := s.cfg.Fleet
+	if f == nil {
+		return fmt.Errorf("server: not in fleet mode")
+	}
+	_, err := f.Membership.MarkUp(id)
+	return err
+}
+
+// FleetView is returned by GET /v1/fleet.
+type FleetView struct {
+	Self    string               `json:"self"`
+	Version uint64               `json:"version"`
+	Members []fleet.MemberStatus `json:"members"`
+}
+
+// fleetAdminResponse is returned by the member up/down admin endpoints.
+type fleetAdminResponse struct {
+	Member  string `json:"member"`
+	Down    bool   `json:"down"`
+	Adopted int    `json:"adopted"`
+}
+
+func (s *Server) handleFleetView(w http.ResponseWriter, _ *http.Request) {
+	f := s.cfg.Fleet
+	writeJSON(w, http.StatusOK, FleetView{
+		Self:    f.Self,
+		Version: f.Membership.Version(),
+		Members: f.Membership.Snapshot(),
+	})
+}
+
+func (s *Server) handleFleetDown(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	adopted, err := s.MarkMemberDown(id)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := s.cfg.Fleet.Membership.Member(id); !ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetAdminResponse{Member: id, Down: true, Adopted: adopted})
+}
+
+func (s *Server) handleFleetUp(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.MarkMemberUp(id); err != nil {
+		status := http.StatusBadRequest
+		if _, ok := s.cfg.Fleet.Membership.Member(id); !ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetAdminResponse{Member: id, Down: false})
+}

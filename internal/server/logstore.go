@@ -1,0 +1,372 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// logFileName is the single append-only file a LogCheckpointer writes inside
+// its directory.
+const logFileName = "checkpoint.log"
+
+// maxLogRecordBytes bounds one record's payload. A length prefix above this
+// cannot be a real record (episode snapshots are a few KB), so it is treated
+// as a torn tail rather than an instruction to wait for 4 GiB of payload.
+const maxLogRecordBytes = 16 << 20
+
+// defaultCompactMinBytes is the log size below which compaction is never
+// attempted; rewriting tiny logs is pure churn.
+const defaultCompactMinBytes = 1 << 20
+
+// logRecord is one entry in the checkpoint log: a full episode snapshot
+// ("save") or a tombstone ("delete"). The log is a redo log, not a diff log —
+// replaying records in order, last-writer-wins per episode, reconstructs the
+// live set exactly.
+type logRecord struct {
+	Op        string        `json:"op"`
+	EpisodeID uint64        `json:"episodeId"`
+	State     *EpisodeState `json:"state,omitempty"`
+}
+
+// LogCheckpointer is an append-only log-structured checkpoint store: every
+// Save/Delete appends one fsynced record framed as
+//
+//	u32 payload length (LE) | u32 CRC-32 (IEEE) of payload | JSON payload
+//
+// On open, the log is scanned front to back; the first frame that is
+// truncated or fails its checksum marks a torn tail from a crash mid-append,
+// and the file is truncated there. A frame whose checksum passes but whose
+// payload does not decode is a corrupt record: it is skipped and reported via
+// LoadAll, never silently dropped from the file (compaction discards it
+// later, once the live set is rewritten).
+//
+// The full live set is kept in memory (snapshots are small), so LoadAll is a
+// map copy and compaction — triggered by a Save when the log has grown past a
+// threshold with less than half of it live — rewrites live records to a temp
+// file and atomically renames it over the log.
+type LogCheckpointer struct {
+	mu          sync.Mutex
+	dir         string
+	path        string
+	f           *os.File
+	size        int64
+	liveBytes   int64 // framed size of the latest live save record per episode
+	compactMin  int64
+	states      map[uint64]EpisodeState
+	recBytes    map[uint64]int64
+	corrupt     []CorruptCheckpoint
+	compactions int
+}
+
+var _ Checkpointer = (*LogCheckpointer)(nil)
+
+// NewLogCheckpointer opens (creating if needed) the checkpoint log inside
+// dir, truncating any torn tail left by a crash mid-append.
+func NewLogCheckpointer(dir string) (*LogCheckpointer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	c := &LogCheckpointer{
+		dir:        dir,
+		path:       filepath.Join(dir, logFileName),
+		compactMin: defaultCompactMinBytes,
+	}
+	if err := c.open(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dir returns the store's directory.
+func (c *LogCheckpointer) Dir() string { return c.dir }
+
+func (c *LogCheckpointer) open() error {
+	data, err := os.ReadFile(c.path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("server: read checkpoint log: %w", err)
+	}
+	states, liveBytes, corrupt, validLen := scanLog(data)
+	if validLen < int64(len(data)) {
+		// Torn tail from a crash mid-append: drop it so the next append
+		// starts on a clean frame boundary.
+		if err := os.Truncate(c.path, validLen); err != nil {
+			return fmt.Errorf("server: truncate torn checkpoint log: %w", err)
+		}
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: open checkpoint log: %w", err)
+	}
+	c.f = f
+	c.size = validLen
+	c.liveBytes = liveBytes
+	c.states = states
+	c.corrupt = corrupt
+	c.recBytes = make(map[uint64]int64, len(states))
+	// Per-episode record sizes are only needed for liveBytes upkeep; seed
+	// them from a re-marshal (compaction would write exactly this).
+	for id, st := range states {
+		c.recBytes[id] = framedSize(logRecord{Op: "save", EpisodeID: id, State: &st})
+	}
+	return nil
+}
+
+// framedSize returns the on-disk size of one record: 8 header bytes plus the
+// JSON payload.
+func framedSize(rec logRecord) int64 {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return 8
+	}
+	return int64(8 + len(data))
+}
+
+// scanLog replays a checkpoint log image and returns the live episode set,
+// the framed bytes of the live save records, any corrupt (checksum-valid but
+// undecodable) records, and the length of the valid frame prefix. Bytes past
+// validLen are a torn tail: a truncated or checksum-failing frame and
+// everything after it. scanLog is pure — it is the fuzz target guarding the
+// store's crash-recovery path.
+func scanLog(data []byte) (states map[uint64]EpisodeState, liveBytes int64, corrupt []CorruptCheckpoint, validLen int64) {
+	states = make(map[uint64]EpisodeState)
+	recBytes := make(map[uint64]int64)
+	var off int64
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			break // clean EOF or torn header
+		}
+		ln := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if ln > maxLogRecordBytes || int64(len(rest)) < 8+int64(ln) {
+			break // impossible length or truncated payload: torn tail
+		}
+		payload := rest[8 : 8+ln]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // bit rot or torn write inside the payload
+		}
+		frame := 8 + int64(ln)
+		recOff := off
+		off += frame
+
+		bad := func(id uint64, err error) {
+			corrupt = append(corrupt, CorruptCheckpoint{
+				Name:      fmt.Sprintf("%s@%d", logFileName, recOff),
+				EpisodeID: id,
+				Err:       err,
+			})
+		}
+		var rec logRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			bad(0, err)
+			continue
+		}
+		switch rec.Op {
+		case "save":
+			if rec.State == nil {
+				bad(rec.EpisodeID, fmt.Errorf("save record without state"))
+				continue
+			}
+			if err := rec.State.validate(); err != nil {
+				bad(rec.EpisodeID, err)
+				continue
+			}
+			if rec.EpisodeID != rec.State.EpisodeID {
+				bad(rec.EpisodeID, fmt.Errorf("record id %d disagrees with state id %d", rec.EpisodeID, rec.State.EpisodeID))
+				continue
+			}
+			id := rec.State.EpisodeID
+			liveBytes += frame - recBytes[id]
+			recBytes[id] = frame
+			states[id] = *rec.State
+		case "delete":
+			if rec.EpisodeID == 0 {
+				bad(0, fmt.Errorf("delete record without episode id"))
+				continue
+			}
+			liveBytes -= recBytes[rec.EpisodeID]
+			delete(recBytes, rec.EpisodeID)
+			delete(states, rec.EpisodeID)
+		default:
+			bad(rec.EpisodeID, fmt.Errorf("unknown op %q", rec.Op))
+		}
+	}
+	return states, liveBytes, corrupt, off
+}
+
+// appendLocked frames, appends, and fsyncs one record. Caller holds c.mu.
+func (c *LogCheckpointer) appendLocked(rec logRecord) (int64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("server: encode checkpoint log record: %w", err)
+	}
+	if len(payload) > maxLogRecordBytes {
+		return 0, fmt.Errorf("server: checkpoint log record %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := c.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("server: append checkpoint log: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return 0, fmt.Errorf("server: sync checkpoint log: %w", err)
+	}
+	frame := int64(len(buf))
+	c.size += frame
+	return frame, nil
+}
+
+// Save implements Checkpointer.
+func (c *LogCheckpointer) Save(st EpisodeState) error {
+	if err := st.validate(); err != nil {
+		return fmt.Errorf("server: refusing to checkpoint invalid state: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	frame, err := c.appendLocked(logRecord{Op: "save", EpisodeID: st.EpisodeID, State: &st})
+	if err != nil {
+		return err
+	}
+	c.liveBytes += frame - c.recBytes[st.EpisodeID]
+	c.recBytes[st.EpisodeID] = frame
+	c.states[st.EpisodeID] = st
+	return c.maybeCompactLocked()
+}
+
+// Delete implements Checkpointer. A tombstone is only appended when the
+// episode is live, so repeated deletes do not grow the log.
+func (c *LogCheckpointer) Delete(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.states[id]; !ok {
+		return nil
+	}
+	if _, err := c.appendLocked(logRecord{Op: "delete", EpisodeID: id}); err != nil {
+		return err
+	}
+	c.liveBytes -= c.recBytes[id]
+	delete(c.recBytes, id)
+	delete(c.states, id)
+	return c.maybeCompactLocked()
+}
+
+// LoadAll implements Checkpointer, returning the live set sorted by episode
+// id plus any corrupt records found when the log was opened.
+func (c *LogCheckpointer) LoadAll() ([]EpisodeState, []CorruptCheckpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EpisodeState, 0, len(c.states))
+	for _, st := range c.states {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EpisodeID < out[j].EpisodeID })
+	return out, append([]CorruptCheckpoint(nil), c.corrupt...), nil
+}
+
+// maybeCompactLocked compacts when the log is big enough to matter and less
+// than half of it is live data. Caller holds c.mu.
+func (c *LogCheckpointer) maybeCompactLocked() error {
+	if c.size < c.compactMin || c.liveBytes*2 >= c.size {
+		return nil
+	}
+	return c.compactLocked()
+}
+
+// Compact rewrites the log down to the live set immediately, regardless of
+// thresholds.
+func (c *LogCheckpointer) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compactLocked()
+}
+
+func (c *LogCheckpointer) compactLocked() error {
+	tmp, err := os.CreateTemp(c.dir, ".checkpoint-*.log")
+	if err != nil {
+		return fmt.Errorf("server: compact checkpoint log: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("server: compact checkpoint log: %w", err)
+	}
+	ids := make([]uint64, 0, len(c.states))
+	for id := range c.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var size int64
+	recBytes := make(map[uint64]int64, len(ids))
+	for _, id := range ids {
+		st := c.states[id]
+		payload, err := json.Marshal(logRecord{Op: "save", EpisodeID: id, State: &st})
+		if err != nil {
+			return fail(err)
+		}
+		buf := make([]byte, 8+len(payload))
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+		copy(buf[8:], payload)
+		if _, err := tmp.Write(buf); err != nil {
+			return fail(err)
+		}
+		recBytes[id] = int64(len(buf))
+		size += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("server: compact checkpoint log: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("server: compact checkpoint log: %w", err)
+	}
+	old := c.f
+	f, err := os.OpenFile(c.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: reopen compacted checkpoint log: %w", err)
+	}
+	_ = old.Close()
+	c.f = f
+	c.size = size
+	c.liveBytes = size
+	c.recBytes = recBytes
+	// Compaction rewrote the file; the corrupt records it carried are gone.
+	c.corrupt = nil
+	c.compactions++
+	return nil
+}
+
+// Compactions returns how many compactions have run, for tests and metrics.
+func (c *LogCheckpointer) Compactions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compactions
+}
+
+// Close releases the log file handle. Save/Delete after Close fail.
+func (c *LogCheckpointer) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

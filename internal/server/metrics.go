@@ -25,6 +25,9 @@ type serverMetrics struct {
 	batchDecisions   *obs.Counter
 	panics           *obs.Counter
 	checkpointErrors *obs.Counter
+	redirects        *obs.Counter
+	adopted          *obs.Counter
+	adoptErrors      *obs.Counter
 
 	latStart   *obs.Histogram
 	latObserve *obs.Histogram
@@ -55,6 +58,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		batchDecisions:   reg.Counter("recoverd_batch_decisions_total", "Decisions served by the batch endpoint."),
 		panics:           reg.Counter("recoverd_panics_total", "Handler panics converted to 500 responses."),
 		checkpointErrors: reg.Counter("recoverd_checkpoint_errors_total", "Checkpoint save/delete failures."),
+		redirects:        reg.Counter("recoverd_fleet_redirects_total", "Requests redirected to the owning fleet member."),
+		adopted:          reg.Counter("recoverd_fleet_adopted_total", "Episodes adopted from down fleet members."),
+		adoptErrors:      reg.Counter("recoverd_fleet_adopt_errors_total", "Episode adoption failures (store or replay)."),
 		latStart:         lat("start"),
 		latObserve:       lat("observe"),
 		latDecide:        lat("decide"),

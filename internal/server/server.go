@@ -106,6 +106,15 @@ type Config struct {
 	// instruments on — share one registry to co-expose several components on
 	// one /metrics page. Nil creates a private registry.
 	Metrics *obs.Registry
+	// Fleet, when non-nil, runs this server as one member of a sharded
+	// recovery fleet: episode keys hash to owners, unowned requests are
+	// redirected, and down members' episodes are adopted. See FleetConfig.
+	Fleet *FleetConfig
+	// EpisodeIDBase offsets freshly assigned episode ids. In fleet mode New
+	// derives it from the member's index (disjoint 48-bit ranges per member,
+	// see EpisodeIDBaseFor) so adopted episodes keep their original ids
+	// without colliding with the adopter's allocator. Leave 0 outside fleets.
+	EpisodeIDBase uint64
 	// DecisionTrace, when non-nil, receives one structured JSONL
 	// obs.DecisionRecord per freshly computed decision (cached retries are
 	// not re-recorded). When the episode controllers collect DecisionStats,
@@ -180,7 +189,10 @@ const maxTombstones = 4096
 // RestoreFailure describes one checkpoint that could not be resumed.
 type RestoreFailure struct {
 	EpisodeID uint64
-	Err       error
+	// Name is set for corrupt stored entries (the quarantined file or log
+	// record the store reported); empty for replay failures.
+	Name string
+	Err  error
 }
 
 // RestoreReport summarizes checkpoint recovery performed by New.
@@ -235,6 +247,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if err := validateFleet(&cfg); err != nil {
+		return nil, err
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -245,6 +260,7 @@ func New(cfg Config) (*Server, error) {
 		episodes:   make(map[uint64]*episode),
 		byKey:      make(map[string]uint64),
 		tombstones: make(map[uint64]*tombstone),
+		nextID:     cfg.EpisodeIDBase,
 		m:          newServerMetrics(reg),
 	}
 	if cfg.DecisionTrace != nil {
@@ -266,6 +282,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.NewBatchDecider != nil {
 		s.mux.HandleFunc("POST /v1/decide/batch", timed(s.m.latBatch, s.handleBatchDecide))
 	}
+	if cfg.Fleet != nil {
+		s.mux.HandleFunc("GET /v1/fleet", s.handleFleetView)
+		s.mux.HandleFunc("POST /v1/fleet/members/{id}/down", s.handleFleetDown)
+		s.mux.HandleFunc("POST /v1/fleet/members/{id}/up", s.handleFleetUp)
+	}
 	if cfg.Checkpointer != nil {
 		s.restore()
 		s.m.resumed.Add(uint64(s.restored.Resumed))
@@ -281,12 +302,18 @@ func New(cfg Config) (*Server, error) {
 // restore rebuilds episodes from checkpoints by replaying each recorded
 // history through a fresh controller from the factory.
 func (s *Server) restore() {
-	states, err := s.cfg.Checkpointer.LoadAll()
+	states, corrupt, err := s.cfg.Checkpointer.LoadAll()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.restored.LoadErr = err
+	for _, c := range corrupt {
+		s.restored.Failed = append(s.restored.Failed, RestoreFailure{EpisodeID: c.EpisodeID, Name: c.Name, Err: c.Err})
+	}
 	for _, st := range states {
-		if st.EpisodeID > s.nextID {
+		// Only ids from this member's own range advance the allocator: an
+		// adopted foreign-range id must not jump nextID into another
+		// member's space.
+		if sameIDRange(st.EpisodeID, s.cfg.EpisodeIDBase) && st.EpisodeID > s.nextID {
 			s.nextID = st.EpisodeID
 		}
 		ep, rerr := s.replay(st)
@@ -559,6 +586,15 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.fleetEnabled() && req.ClientKey != "" {
+		// Route by key before anything else: a non-owner redirects, the owner
+		// lazily adopts the key from down members so the dedupe below finds
+		// an episode started on a now-dead member.
+		if s.fleetStart(w, r, req.ClientKey) {
+			return
+		}
+	}
+
 	s.mu.Lock()
 	if req.ClientKey != "" {
 		if id, ok := s.byKey[req.ClientKey]; ok {
@@ -617,6 +653,17 @@ func (s *Server) episode(w http.ResponseWriter, r *http.Request) (uint64, *episo
 	ep := s.episodes[id]
 	s.mu.Unlock()
 	if ep == nil {
+		retry, handled := s.fleetEpisodeMiss(w, r)
+		if handled {
+			return 0, nil, false
+		}
+		if retry {
+			s.mu.Lock()
+			ep = s.episodes[id]
+			s.mu.Unlock()
+		}
+	}
+	if ep == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("episode %d not found", id))
 		return 0, nil, false
 	}
@@ -633,6 +680,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	ep := s.episodes[id]
 	_, dead := s.tombstones[id]
 	s.mu.Unlock()
+	if ep == nil && !dead {
+		retry, handled := s.fleetEpisodeMiss(w, r)
+		if handled {
+			return
+		}
+		if retry {
+			s.mu.Lock()
+			ep = s.episodes[id]
+			_, dead = s.tombstones[id]
+			s.mu.Unlock()
+		}
+	}
 	if ep == nil {
 		if dead {
 			writeJSON(w, http.StatusOK, StatusResponse{EpisodeID: id, Open: false})
@@ -657,6 +716,18 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 	ep := s.episodes[id]
 	tb := s.tombstones[id]
 	s.mu.Unlock()
+	if ep == nil && tb == nil {
+		retry, handled := s.fleetEpisodeMiss(w, r)
+		if handled {
+			return
+		}
+		if retry {
+			s.mu.Lock()
+			ep = s.episodes[id]
+			tb = s.tombstones[id]
+			s.mu.Unlock()
+		}
+	}
 	if ep == nil {
 		if tb != nil {
 			// The terminal decision was already computed; the client's copy
