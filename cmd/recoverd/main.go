@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"bpomdp/internal/client"
 	"bpomdp/internal/controller"
 	"bpomdp/internal/core"
 	"bpomdp/internal/emn"
@@ -70,6 +71,8 @@ func run(ctx context.Context, args []string) error {
 		checkpointDir   = fs.String("checkpoint-dir", "", "persist per-episode checkpoints here; a restarted daemon resumes all open episodes")
 		checkpointStore = fs.String("checkpoint-store", "dir", `checkpoint store layout: "dir" (one JSON file per episode) or "log" (append-only log with compaction)`)
 		episodeTTL      = fs.Duration("episode-ttl", 30*time.Minute, "evict episodes idle longer than this (0 disables abandoned-monitor GC)")
+		tombstoneTTL    = fs.Duration("tombstone-ttl", 10*time.Minute, "keep terminal-decision tombstones at least this long (0 = -episode-ttl); must be >= -client-retry-budget")
+		retryBudget     = fs.Duration("client-retry-budget", client.DefaultRetryBudget, "longest cumulative retry backoff clients are configured with; tombstones must outlive it")
 		maxBodyBytes    = fs.Int64("max-body-bytes", 1<<20, "cap on request body size")
 
 		fleetSelf   = fs.String("fleet-self", "", "this member's id within -fleet-peers; enables fleet mode")
@@ -204,13 +207,15 @@ func run(ctx context.Context, args []string) error {
 		decisionTrace = traceFile
 	}
 	srv, err := server.New(server.Config{
-		Model:         prep.Model,
-		MaxEpisodes:   *maxEpisodes,
-		Checkpointer:  checkpointer,
-		Fleet:         fleetCfg,
-		EpisodeTTL:    *episodeTTL,
-		MaxBodyBytes:  *maxBodyBytes,
-		DecisionTrace: decisionTrace,
+		Model:             prep.Model,
+		MaxEpisodes:       *maxEpisodes,
+		Checkpointer:      checkpointer,
+		Fleet:             fleetCfg,
+		EpisodeTTL:        *episodeTTL,
+		TombstoneTTL:      *tombstoneTTL,
+		ClientRetryBudget: *retryBudget,
+		MaxBodyBytes:      *maxBodyBytes,
+		DecisionTrace:     decisionTrace,
 		NewController: func() (controller.Controller, pomdp.Belief, error) {
 			ctrl, err := prep.NewController(core.ControllerConfig{Depth: *depth, ImproveOnline: *improve, CollectStats: collectStats})
 			if err != nil {

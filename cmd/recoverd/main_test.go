@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"bpomdp/internal/bounds"
@@ -226,5 +227,34 @@ func TestRunObservabilityFlags(t *testing.T) {
 		"-bootstrap", "0", "-trace", filepath.Join(trace, "not-a-dir", "t.jsonl"),
 	}); err == nil {
 		t.Error("unwritable trace path accepted")
+	}
+}
+
+// TestRunRejectsShortTombstoneTTL: a tombstone TTL below the advertised
+// client retry budget would let a terminal decision expire while its client
+// is still retrying — the daemon must refuse to start that way.
+func TestRunRejectsShortTombstoneTTL(t *testing.T) {
+	err := run(cancelledCtx(), []string{
+		"-model", "twoserver",
+		"-tombstone-ttl", "5s", "-client-retry-budget", "30s",
+	})
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("tombstone TTL below retry budget accepted (err=%v)", err)
+	}
+	// The -episode-ttl fallback (when -tombstone-ttl is zeroed) is held to
+	// the same floor.
+	err = run(cancelledCtx(), []string{
+		"-model", "twoserver",
+		"-tombstone-ttl", "0", "-episode-ttl", "5s", "-client-retry-budget", "30s",
+	})
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("fallback TTL below retry budget accepted (err=%v)", err)
+	}
+	// Matching them is fine.
+	if err := run(cancelledCtx(), []string{
+		"-model", "twoserver",
+		"-tombstone-ttl", "30s", "-client-retry-budget", "30s",
+	}); err != nil {
+		t.Errorf("TTL == budget rejected: %v", err)
 	}
 }

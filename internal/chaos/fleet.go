@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"sort"
@@ -169,6 +171,38 @@ func (f *Fleet) liveLocked(except string) []*FleetNode {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// DecisionBytes fetches an episode's decision straight from one member, no
+// redirects followed, and returns the raw status and body bytes. Chaos tests
+// use it to pin down byte-identical replay of a terminal decision across an
+// owner kill — the FleetClient would decode and re-encode, hiding encoding
+// drift.
+func (f *Fleet) DecisionBytes(memberID string, episodeID uint64, key string) (int, []byte, error) {
+	n := f.Node(memberID)
+	if n == nil {
+		return 0, nil, fmt.Errorf("chaos: unknown member %q", memberID)
+	}
+	c := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/episodes/%d/decision", n.HS.URL, episodeID), nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if key != "" {
+		req.Header.Set(server.HeaderEpisodeKey, key)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
 }
 
 // OpenEpisodes sums open episodes across live members.

@@ -1,7 +1,10 @@
 package chaos_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"net/http"
 	"testing"
 	"time"
 
@@ -46,18 +49,11 @@ func (k *killerEpisode) Observe(action, obs int) error {
 	return nil
 }
 
-// TestFleetChaosZeroAbandonedEpisodes is the fleet acceptance test: a
-// 3-member fleet runs a full campaign through the coordinator-free
-// FleetClient, one member is SIGKILL-dropped while it is serving a live
-// episode, and the campaign must still finish with zero abandoned episodes
-// and the exact per-fault mean cost of the same campaign against a local
-// in-process controller. The fleet uses the append-only log checkpoint
-// store, so the handoff replays from fsynced log records, not from any
-// in-memory state of the dead node.
-func TestFleetChaosZeroAbandonedEpisodes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("fleet chaos campaign is slow; skipped with -short")
-	}
+// twoServerFleetPrep builds the shared two-server recovery model for the
+// fleet chaos campaigns: prepared + bootstrapped model, a controller
+// factory, and a campaign runner.
+func twoServerFleetPrep(t *testing.T) (*core.Prepared, func() (controller.Controller, pomdp.Belief, error), *sim.Runner) {
+	t.Helper()
 	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +85,22 @@ func TestFleetChaosZeroAbandonedEpisodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return prep, factory, runner
+}
+
+// TestFleetChaosZeroAbandonedEpisodes is the fleet acceptance test: a
+// 3-member fleet runs a full campaign through the coordinator-free
+// FleetClient, one member is SIGKILL-dropped while it is serving a live
+// episode, and the campaign must still finish with zero abandoned episodes
+// and the exact per-fault mean cost of the same campaign against a local
+// in-process controller. The fleet uses the append-only log checkpoint
+// store, so the handoff replays from fsynced log records, not from any
+// in-memory state of the dead node.
+func TestFleetChaosZeroAbandonedEpisodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet chaos campaign is slow; skipped with -short")
+	}
+	prep, factory, runner := twoServerFleetPrep(t)
 	faults := []int{1, 2}
 	const episodes = 20
 	const campaignSeed = 97
@@ -186,4 +198,175 @@ func TestFleetChaosZeroAbandonedEpisodes(t *testing.T) {
 	}
 	t.Logf("fleet chaos: kill fired during episode %d, %d adoption(s), mean cost %v",
 		killDuringEpisode, adopted, remote.Cost.Mean())
+}
+
+// lostFinalEpisode wraps a FleetEpisode to stage the lost-final-decision
+// window: on the armed episode it peeks at each decision over a raw,
+// redirect-free GET — exactly what the owner sends on the wire — and the
+// moment that decision is terminal (so the owner has already tombstoned the
+// episode and deleted its checkpoint) it SIGKILLs the owner before the
+// wrapped client ever sees the response. The client's own Decide then has to
+// recover the decision from the survivors.
+type lostFinalEpisode struct {
+	*client.FleetEpisode
+	t     *testing.T
+	f     *chaos.Fleet
+	armed bool
+	fired *bool
+	// lost is the terminal decision as served by the original owner; replay
+	// is the same decision re-fetched raw from the new owner after failover.
+	lost, replay *[]byte
+}
+
+func (l *lostFinalEpisode) Decide() (controller.Decision, error) {
+	if l.armed && !*l.fired {
+		status, body, err := l.f.DecisionBytes(l.Owner(), l.ID(), l.Key())
+		if err != nil {
+			return controller.Decision{}, err
+		}
+		if status == http.StatusOK {
+			var d server.DecisionResponse
+			if err := json.Unmarshal(body, &d); err != nil {
+				return controller.Decision{}, err
+			}
+			if d.Terminate {
+				// The owner just checkpointed the tombstone and deleted the
+				// episode; this response is now "lost in transit".
+				*l.fired = true
+				*l.lost = body
+				if _, err := l.f.Kill(l.Owner()); err != nil {
+					return controller.Decision{}, err
+				}
+			}
+		}
+	}
+	d, err := l.FleetEpisode.Decide()
+	if err == nil && l.armed && *l.fired && *l.replay == nil {
+		// The client recovered a decision from the fleet; pin down what the
+		// new owner actually serves for the same episode id.
+		status, body, rerr := l.f.DecisionBytes(l.Owner(), l.ID(), l.Key())
+		if rerr != nil {
+			return d, rerr
+		}
+		if status != http.StatusOK {
+			l.t.Errorf("retried final GET on new owner %q: status %d (body %s), want 200", l.Owner(), status, body)
+		}
+		*l.replay = body
+	}
+	return d, err
+}
+
+// TestFleetChaosTerminalDecisionSurvivesOwnerKill closes the loop on the
+// lost-final-decision window: a 3-member fleet runs a campaign, and on one
+// episode the serving member is SIGKILLed at the worst possible instant —
+// after the terminal decision was computed, tombstoned, and the episode
+// deleted, but before the client received the response. The client's retried
+// GET must fail over and replay the original terminal decision from the
+// replicated/adopted tombstone — byte-identical, same episode id, not a 409
+// and not a fresh episode — and the campaign must still finish with zero
+// abandoned episodes and exact mean-cost parity against the local baseline.
+func TestFleetChaosTerminalDecisionSurvivesOwnerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet chaos campaign is slow; skipped with -short")
+	}
+	prep, factory, runner := twoServerFleetPrep(t)
+	faults := []int{1, 2}
+	const episodes = 20
+	const campaignSeed = 97
+	const killDuringEpisode = 7
+
+	ctrl, initial, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := runner.RunCampaign(ctrl, initial, faults, episodes, rng.New(campaignSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Recovered != baseline.Episodes {
+		t.Fatalf("baseline failed to recover: %d/%d", baseline.Recovered, baseline.Episodes)
+	}
+
+	f, err := chaos.NewFleet([]string{"n1", "n2", "n3"}, t.TempDir(),
+		server.Config{Model: prep.Model, NewController: factory},
+		chaos.FleetOptions{VNodes: 16, StoreKind: "log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fc, err := client.NewFleetClient(f.Members(), 16, nil, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Budget:      5 * time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killFired := false
+	var lost, replay []byte
+	var lostID uint64
+	remote, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(campaignSeed), sim.CampaignOptions{
+		Workers:         1,
+		ContinueOnError: true,
+		EpisodeFactory: func(episode int) (controller.Controller, func(error), error) {
+			ep, err := fc.StartEpisode()
+			if err != nil {
+				return nil, nil, err
+			}
+			if episode == killDuringEpisode {
+				lostID = ep.ID()
+			}
+			l := &lostFinalEpisode{
+				FleetEpisode: ep,
+				t:            t,
+				f:            f,
+				armed:        episode == killDuringEpisode,
+				fired:        &killFired,
+				lost:         &lost,
+				replay:       &replay,
+			}
+			cleanup := func(err error) {
+				if err != nil {
+					_ = ep.Abandon()
+				}
+			}
+			return l, cleanup, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !killFired {
+		t.Fatal("the owner kill never fired; the terminal window was not exercised")
+	}
+	if lost == nil {
+		t.Fatal("no terminal decision was captured before the kill")
+	}
+	if replay == nil {
+		t.Fatal("no replayed decision was captured after failover")
+	}
+	if !bytes.Equal(lost, replay) {
+		t.Errorf("terminal decision changed across the owner kill:\n lost:   %s\n replay: %s", lost, replay)
+	}
+	if remote.Abandoned != 0 {
+		t.Errorf("%d episodes abandoned across the owner kill, want 0", remote.Abandoned)
+	}
+	if remote.Episodes != baseline.Episodes || remote.Recovered != baseline.Recovered {
+		t.Errorf("fleet campaign completed %d/%d recovered, baseline %d/%d",
+			remote.Recovered, remote.Episodes, baseline.Recovered, baseline.Episodes)
+	}
+	if diff := math.Abs(remote.Cost.Mean() - baseline.Cost.Mean()); diff > 1e-9 {
+		t.Errorf("mean cost diverged by %g: fleet %v vs baseline %v",
+			diff, remote.Cost.Mean(), baseline.Cost.Mean())
+	}
+	if diff := math.Abs(remote.ResidualTime.Mean() - baseline.ResidualTime.Mean()); diff > 1e-9 {
+		t.Errorf("mean residual time diverged by %g", diff)
+	}
+	if open := f.OpenEpisodes(); open != 0 {
+		t.Errorf("%d episodes still open across survivors", open)
+	}
+	t.Logf("terminal decision for episode %d survived the owner kill byte-identically: %s", lostID, lost)
 }

@@ -88,6 +88,28 @@ func (fc *FleetClient) syncDown(memberID string) {
 	}
 }
 
+// EpisodeLostError reports a failover that could not recover the episode's
+// identity: re-starting the key on the new owner produced a brand-new
+// episode instead of deduping into the original (no adopted checkpoint, no
+// terminal tombstone). Continuing silently would replay the episode from
+// scratch under a new id — mid-recovery progress gone without a trace — so
+// the client surfaces it instead. The fresh episode is abandoned before the
+// error is returned.
+type EpisodeLostError struct {
+	// Key is the episode's routing key.
+	Key string
+	// EpisodeID is the lost episode's id; FreshID is the new id the fleet
+	// answered with (already abandoned).
+	EpisodeID, FreshID uint64
+	// Steps is the client-side progress that could not be recovered.
+	Steps int
+}
+
+func (e *EpisodeLostError) Error() string {
+	return fmt.Sprintf("client: episode %d (key %s, %d steps) lost in failover: fleet restarted it as %d",
+		e.EpisodeID, e.Key, e.Steps, e.FreshID)
+}
+
 // transportExhausted reports an error that means "this member is not
 // answering at all": the retry policy ran out without ever seeing an HTTP
 // response. HTTP-level failures (the member answered, just unhappily) are
@@ -174,6 +196,13 @@ func (e *FleetEpisode) failover() error {
 		e.fc.syncDown(owner.ID)
 		fresh, err := e.fc.client(owner.ID).StartEpisodeKeyed(e.key)
 		if err == nil {
+			if fresh.ID() != e.ep.ID() && e.ep.Steps() > 0 {
+				// The fleet answered with a brand-new episode: the original's
+				// checkpoints (and any terminal tombstone) are gone. Binding
+				// to it would silently replay recovery from step zero.
+				_ = fresh.Abandon()
+				return &EpisodeLostError{Key: e.key, EpisodeID: e.ep.ID(), FreshID: fresh.ID(), Steps: e.ep.Steps()}
+			}
 			fresh.steps = e.ep.steps
 			fresh.open = e.ep.open
 			e.ownerID = owner.ID

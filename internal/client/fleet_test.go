@@ -1,8 +1,10 @@
 package client
 
 import (
+	"errors"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,6 +39,15 @@ func snappyPolicy() RetryPolicy {
 // under a shared root and returns a FleetClient over it.
 func newClientFleet(t *testing.T) (map[string]*fleetTestNode, *FleetClient, *core.Prepared) {
 	t.Helper()
+	return newClientFleetHandoff(t, true)
+}
+
+// newClientFleetHandoff is newClientFleet with handoff made optional: with
+// handoff false the members cannot read each other's stores (no StoreFor),
+// so a dead member's episodes are unrecoverable — the setup for testing how
+// the client reports a genuinely lost episode.
+func newClientFleetHandoff(t *testing.T, handoff bool) (map[string]*fleetTestNode, *FleetClient, *core.Prepared) {
+	t.Helper()
 	prep, _ := twoServerPrep(t)
 	root := t.TempDir()
 	members := []fleet.Member{{ID: "a"}, {ID: "b"}}
@@ -61,11 +72,15 @@ func newClientFleet(t *testing.T) (map[string]*fleetTestNode, *FleetClient, *cor
 		if err != nil {
 			t.Fatal(err)
 		}
+		fcfg := &server.FleetConfig{Self: m.ID, Membership: view}
+		if handoff {
+			fcfg.StoreFor = storeFor
+		}
 		srv, err := server.New(server.Config{
 			Model:         prep.Model,
 			NewController: boundedFactory(prep),
 			Checkpointer:  own,
-			Fleet:         &server.FleetConfig{Self: m.ID, Membership: view, StoreFor: storeFor},
+			Fleet:         fcfg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -214,5 +229,55 @@ func TestFleetClientStartsOnSurvivor(t *testing.T) {
 	}
 	if !sawFailover {
 		t.Skip("no key hashed to the dead member in 8 draws (astronomically unlikely)")
+	}
+}
+
+// TestFleetClientReportsLostEpisode: when the owner dies AND its checkpoints
+// are unreachable (no handoff), the fleet answers the client's keyed restart
+// with a brand-new episode. Silently binding to it would replay recovery from
+// step zero under the same identity — the client must instead surface a typed
+// EpisodeLostError and abandon the impostor.
+func TestFleetClientReportsLostEpisode(t *testing.T) {
+	nodes, fc, prep := newClientFleetHandoff(t, false)
+	sc := pomdp.NewScratch(prep.Model)
+	ep, err := fc.StartEpisode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stepOnce(t, prep, sc, ep) {
+		t.Fatal("episode terminated before the kill point")
+	}
+	id, firstOwner, steps := ep.ID(), ep.Owner(), ep.Steps()
+
+	dead := nodes[firstOwner]
+	dead.hs.CloseClientConnections()
+	dead.hs.Close()
+
+	_, err = ep.Decide()
+	if err == nil {
+		t.Fatal("Decide succeeded against an unrecoverable episode")
+	}
+	var lost *EpisodeLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("error is %T (%v), want *EpisodeLostError", err, err)
+	}
+	if lost.Key != ep.Key() || lost.EpisodeID != id || lost.Steps != steps {
+		t.Errorf("EpisodeLostError %+v, want key %q id %d steps %d", lost, ep.Key(), id, steps)
+	}
+	if lost.FreshID == id {
+		t.Errorf("fresh id %d equals the lost id — nothing was lost", lost.FreshID)
+	}
+	for _, part := range []string{ep.Key(), "lost in failover"} {
+		if !strings.Contains(lost.Error(), part) {
+			t.Errorf("error message %q missing %q", lost.Error(), part)
+		}
+	}
+	// The impostor episode was abandoned, not leaked on the survivor.
+	survivor := "a"
+	if firstOwner == "a" {
+		survivor = "b"
+	}
+	if got := nodes[survivor].sv.OpenEpisodes(); got != 0 {
+		t.Errorf("survivor holds %d episodes after the abandoned impostor, want 0", got)
 	}
 }

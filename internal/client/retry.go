@@ -10,6 +10,13 @@ import (
 	"time"
 )
 
+// DefaultRetryBudget is the default cumulative-backoff budget per call. It
+// is exported because the server derives a safety floor from it: a terminal
+// tombstone must out-live the longest a client could still be retrying its
+// final GET, so recoverd refuses tombstone TTLs below the configured client
+// retry budget (see the -tombstone-ttl / -client-retry-budget flags).
+const DefaultRetryBudget = 15 * time.Second
+
 // RetryPolicy configures the client's retry loop: capped exponential
 // backoff with full jitter, a per-call retry budget, and a per-attempt
 // timeout. The zero value means defaults.
@@ -48,7 +55,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 		p.MaxDelay = time.Second
 	}
 	if p.Budget == 0 {
-		p.Budget = 15 * time.Second
+		p.Budget = DefaultRetryBudget
 	}
 	if p.PerTryTimeout == 0 {
 		p.PerTryTimeout = 10 * time.Second

@@ -96,6 +96,20 @@ func (m *Membership) Owner(key string) (Member, bool) {
 	return m.members[id], true
 }
 
+// Successor returns the up member that would own key if its current owner
+// were marked down — the ring-successor, the natural target for replicating
+// per-key state ahead of an owner failure. ok is false when fewer than two
+// members are up.
+func (m *Membership) Successor(key string) (Member, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, succ, ok := m.ring.SuccessorOf(key)
+	if !ok {
+		return Member{}, false
+	}
+	return m.members[succ], true
+}
+
 // Member looks a member up by ID, regardless of liveness.
 func (m *Membership) Member(id string) (Member, bool) {
 	m.mu.RLock()

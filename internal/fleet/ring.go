@@ -92,6 +92,31 @@ func (r *Ring) OwnerOf(key string) (member string, ok bool) {
 	return r.points[i].member, true
 }
 
+// SuccessorOf returns the key's owner and the first *distinct* member whose
+// virtual node follows the owning one, wrapping around the ring. The
+// successor is exactly the member that would own the key if the owner were
+// removed from the ring — which makes it the natural replica target for
+// per-key state: after the owner dies, the key hashes straight to the member
+// already holding the copy. ok is false on an empty or single-member ring.
+func (r *Ring) SuccessorOf(key string) (owner, successor string, ok bool) {
+	if len(r.points) == 0 {
+		return "", "", false
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	owner = r.points[i].member
+	for step := 1; step < len(r.points); step++ {
+		p := r.points[(i+step)%len(r.points)]
+		if p.member != owner {
+			return owner, p.member, true
+		}
+	}
+	return owner, "", false
+}
+
 // hashKey is the ring's hash function: 64-bit FNV-1a finished with a
 // Murmur3-style avalanche. Bare FNV-1a mixes a trailing byte into the low
 // bits only, which clusters a member's virtual nodes ("n1#0".."n1#63") on

@@ -81,6 +81,62 @@ func (st *EpisodeState) validate() error {
 	return nil
 }
 
+// TombstoneState is the durable record of a terminated episode's final
+// decision: everything needed to replay the terminal response to a client
+// that lost it in transit, even after the owning process (or the whole
+// member) is gone. It is written to the checkpoint store *before* the
+// episode's own record is deleted, and replicated to the episode key's ring
+// successor, so no single crash window can lose an already-earned terminal
+// decision.
+type TombstoneState struct {
+	// EpisodeID is the terminated episode's id.
+	EpisodeID uint64 `json:"episodeId"`
+	// ClientKey is the episode's routing/idempotency key, if any; a retried
+	// start with this key must return EpisodeID, not a fresh episode.
+	ClientKey string `json:"clientKey,omitempty"`
+	// Steps is the episode's observation count at termination (the client's
+	// dedupe cursor when it retries the final exchange).
+	Steps int `json:"steps"`
+	// Final is the terminal decision, replayed byte-identically.
+	Final DecisionResponse `json:"final"`
+	// TerminatedAtUnixNano is the owner's clock at termination; TTL eviction
+	// counts from here so retention survives restarts and adoption.
+	TerminatedAtUnixNano int64 `json:"terminatedAtUnixNano"`
+}
+
+// DecodeTombstoneState decodes and validates one stored tombstone — the
+// trust boundary for tombstones read back from a store or received over the
+// fleet replication endpoint.
+func DecodeTombstoneState(data []byte) (TombstoneState, error) {
+	var ts TombstoneState
+	if err := json.Unmarshal(data, &ts); err != nil {
+		return TombstoneState{}, err
+	}
+	if err := ts.validate(); err != nil {
+		return TombstoneState{}, err
+	}
+	return ts, nil
+}
+
+func (ts *TombstoneState) validate() error {
+	if ts.EpisodeID == 0 {
+		return fmt.Errorf("tombstone episode id 0")
+	}
+	if ts.Steps < 0 {
+		return fmt.Errorf("tombstone negative step count %d", ts.Steps)
+	}
+	if !ts.Final.Terminate {
+		return fmt.Errorf("tombstone for a non-terminal decision")
+	}
+	if math.IsNaN(ts.Final.Value) || math.IsInf(ts.Final.Value, 0) {
+		return fmt.Errorf("tombstone value %v", ts.Final.Value)
+	}
+	if ts.TerminatedAtUnixNano < 0 {
+		return fmt.Errorf("tombstone terminated-at %d", ts.TerminatedAtUnixNano)
+	}
+	return nil
+}
+
 // CorruptCheckpoint describes one stored snapshot that could not be decoded.
 // Stores quarantine such entries (a directory store renames the file, a log
 // store skips the record) so one bad snapshot never blocks the rest and is
@@ -103,12 +159,22 @@ type CorruptCheckpoint struct {
 // store-level failures (unreadable directory, unopenable log), never for
 // individual bad snapshots.
 //
+// Tombstones live in a separate namespace from episode snapshots:
+// SaveTombstone is called on termination before Delete (write-ahead, so a
+// crash between the two leaves the final decision recoverable),
+// DeleteTombstone when the tombstone's TTL expires, and LoadTombstones at
+// startup, on adoption, and on rare cache misses. Deleting an episode never
+// touches its tombstone and vice versa.
+//
 // Implementations must tolerate concurrent Save/Delete calls for *different*
 // episodes; calls for the same episode are serialized by the server.
 type Checkpointer interface {
 	Save(st EpisodeState) error
 	Delete(id uint64) error
 	LoadAll() ([]EpisodeState, []CorruptCheckpoint, error)
+	SaveTombstone(ts TombstoneState) error
+	DeleteTombstone(id uint64) error
+	LoadTombstones() ([]TombstoneState, []CorruptCheckpoint, error)
 }
 
 // OpenCheckpointStore opens a checkpoint store of the named kind over dir:
@@ -126,8 +192,9 @@ func OpenCheckpointStore(kind, dir string) (Checkpointer, error) {
 }
 
 // DirCheckpointer stores one JSON file per episode in a directory
-// (episode-<id>.json), written atomically via a temp file + rename so a
-// crash mid-write never corrupts an existing checkpoint.
+// (episode-<id>.json), plus one sibling file per terminal tombstone
+// (tombstone-<id>.json), each written atomically via a temp file + rename so
+// a crash mid-write never corrupts an existing checkpoint.
 type DirCheckpointer struct {
 	dir string
 }
@@ -153,15 +220,15 @@ func (c *DirCheckpointer) path(id uint64) string {
 	return filepath.Join(c.dir, fmt.Sprintf("episode-%d.json", id))
 }
 
-// Save implements Checkpointer.
-func (c *DirCheckpointer) Save(st EpisodeState) error {
-	data, err := json.Marshal(st)
+func (c *DirCheckpointer) tombPath(id uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("tombstone-%d.json", id))
+}
+
+// writeAtomic writes data to dst via a temp file + rename.
+func (c *DirCheckpointer) writeAtomic(dst string, tmpPattern string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, tmpPattern)
 	if err != nil {
-		return fmt.Errorf("server: encode checkpoint %d: %w", st.EpisodeID, err)
-	}
-	tmp, err := os.CreateTemp(c.dir, fmt.Sprintf(".episode-%d-*.tmp", st.EpisodeID))
-	if err != nil {
-		return fmt.Errorf("server: checkpoint %d: %w", st.EpisodeID, err)
+		return err
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.Write(data)
@@ -170,11 +237,23 @@ func (c *DirCheckpointer) Save(st EpisodeState) error {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmpName, c.path(st.EpisodeID))
+		werr = os.Rename(tmpName, dst)
 	}
 	if werr != nil {
 		_ = os.Remove(tmpName)
-		return fmt.Errorf("server: checkpoint %d: %w", st.EpisodeID, werr)
+		return werr
+	}
+	return nil
+}
+
+// Save implements Checkpointer.
+func (c *DirCheckpointer) Save(st EpisodeState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("server: encode checkpoint %d: %w", st.EpisodeID, err)
+	}
+	if err := c.writeAtomic(c.path(st.EpisodeID), fmt.Sprintf(".episode-%d-*.tmp", st.EpisodeID), data); err != nil {
+		return fmt.Errorf("server: checkpoint %d: %w", st.EpisodeID, err)
 	}
 	return nil
 }
@@ -235,6 +314,80 @@ func (c *DirCheckpointer) LoadAll() ([]EpisodeState, []CorruptCheckpoint, error)
 			continue
 		}
 		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EpisodeID < out[j].EpisodeID })
+	return out, corrupt, nil
+}
+
+// SaveTombstone implements Checkpointer: tombstone-<id>.json alongside the
+// episode files, written atomically.
+func (c *DirCheckpointer) SaveTombstone(ts TombstoneState) error {
+	if err := ts.validate(); err != nil {
+		return fmt.Errorf("server: refusing to store invalid tombstone: %w", err)
+	}
+	data, err := json.Marshal(ts)
+	if err != nil {
+		return fmt.Errorf("server: encode tombstone %d: %w", ts.EpisodeID, err)
+	}
+	if err := c.writeAtomic(c.tombPath(ts.EpisodeID), fmt.Sprintf(".tombstone-%d-*.tmp", ts.EpisodeID), data); err != nil {
+		return fmt.Errorf("server: tombstone %d: %w", ts.EpisodeID, err)
+	}
+	return nil
+}
+
+// DeleteTombstone implements Checkpointer. Deleting a tombstone that does
+// not exist is not an error.
+func (c *DirCheckpointer) DeleteTombstone(id uint64) error {
+	if err := os.Remove(c.tombPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("server: delete tombstone %d: %w", id, err)
+	}
+	return nil
+}
+
+// LoadTombstones implements Checkpointer, returning stored tombstones sorted
+// by episode id. Undecodable files are quarantined exactly like episode
+// checkpoints.
+func (c *DirCheckpointer) LoadTombstones() ([]TombstoneState, []CorruptCheckpoint, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: read checkpoint dir: %w", err)
+	}
+	var (
+		out     []TombstoneState
+		corrupt []CorruptCheckpoint
+	)
+	quarantine := func(name string, id uint64, err error) {
+		if rerr := os.Rename(filepath.Join(c.dir, name), filepath.Join(c.dir, name+".corrupt")); rerr != nil {
+			err = fmt.Errorf("%w (quarantine failed: %v)", err, rerr)
+		}
+		corrupt = append(corrupt, CorruptCheckpoint{Name: name, EpisodeID: id, Err: err})
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "tombstone-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		idText := strings.TrimSuffix(strings.TrimPrefix(name, "tombstone-"), ".json")
+		id, err := strconv.ParseUint(idText, 10, 64)
+		if err != nil {
+			quarantine(name, 0, fmt.Errorf("bad id in file name"))
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(c.dir, name))
+		if err != nil {
+			corrupt = append(corrupt, CorruptCheckpoint{Name: name, EpisodeID: id, Err: err})
+			continue
+		}
+		ts, err := DecodeTombstoneState(data)
+		if err != nil {
+			quarantine(name, id, err)
+			continue
+		}
+		if ts.EpisodeID != id {
+			quarantine(name, id, fmt.Errorf("id %d inside file", ts.EpisodeID))
+			continue
+		}
+		out = append(out, ts)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].EpisodeID < out[j].EpisodeID })
 	return out, corrupt, nil

@@ -674,3 +674,183 @@ func TestRestoreSkipsBadCheckpoints(t *testing.T) {
 		})
 	}
 }
+
+// TestCheckpointStoreTombstoneRoundTrip is the tombstone conformance suite:
+// both stores must round-trip tombstone records, keep the episode and
+// tombstone namespaces independent, tolerate double deletes, and surface
+// the same set after a reopen.
+func TestCheckpointStoreTombstoneRoundTrip(t *testing.T) {
+	final := DecisionResponse{Action: -1, Terminate: true, Value: 3.25}
+	for _, kind := range storeKinds {
+		t.Run(kind, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "ckpt")
+			cp := openStore(t, kind, dir)
+			a := TombstoneState{EpisodeID: 2, ClientKey: "ka", Steps: 4, Final: final, TerminatedAtUnixNano: 100}
+			b := TombstoneState{EpisodeID: 1, ClientKey: "kb", Steps: 0, Final: final, TerminatedAtUnixNano: 200}
+			for _, ts := range []TombstoneState{a, b} {
+				if err := cp.SaveTombstone(ts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// An invalid tombstone (non-terminal final) must be refused.
+			if err := cp.SaveTombstone(TombstoneState{EpisodeID: 9, Final: DecisionResponse{Action: 1}}); err == nil {
+				t.Error("non-terminal tombstone accepted")
+			}
+			got, corrupt, err := cp.LoadTombstones()
+			if err != nil || len(corrupt) != 0 {
+				t.Fatalf("LoadTombstones err=%v corrupt=%+v", err, corrupt)
+			}
+			if len(got) != 2 || got[0].EpisodeID != 1 || got[1].EpisodeID != 2 {
+				t.Fatalf("LoadTombstones = %+v", got)
+			}
+			if !reflect.DeepEqual(got[1], a) {
+				t.Errorf("round-trip mismatch: %+v vs %+v", got[1], a)
+			}
+
+			// Episodes and tombstones are independent namespaces: the same id
+			// may be live in both, and deleting in one never touches the other.
+			if err := cp.Save(EpisodeState{EpisodeID: 2, ClientKey: "ka", Belief: []float64{1}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.Delete(2); err != nil {
+				t.Fatal(err)
+			}
+			if got, _, _ = cp.LoadTombstones(); len(got) != 2 {
+				t.Fatalf("episode delete removed a tombstone: %+v", got)
+			}
+			if err := cp.Save(EpisodeState{EpisodeID: 1, Belief: []float64{1}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.DeleteTombstone(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.DeleteTombstone(1); err != nil {
+				t.Errorf("double tombstone delete: %v", err)
+			}
+			if states, _, _ := cp.LoadAll(); len(states) != 1 || states[0].EpisodeID != 1 {
+				t.Fatalf("tombstone delete removed an episode: %+v", states)
+			}
+			if got, _, _ = cp.LoadTombstones(); len(got) != 1 || got[0].EpisodeID != 2 {
+				t.Fatalf("after tombstone delete: %+v", got)
+			}
+
+			// A reopen (restart) sees exactly what was persisted.
+			if lc, ok := cp.(*LogCheckpointer); ok {
+				if err := lc.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, corrupt, err = openStore(t, kind, dir).LoadTombstones()
+			if err != nil || len(corrupt) != 0 {
+				t.Fatalf("reopen LoadTombstones err=%v corrupt=%+v", err, corrupt)
+			}
+			if len(got) != 1 || !reflect.DeepEqual(got[0], a) {
+				t.Fatalf("reopen tombstones %+v, want [%+v]", got, a)
+			}
+		})
+	}
+}
+
+// TestLogStoreCrashMidCompaction pins down compaction's crash contract: the
+// rewrite goes to a temp file and lands via atomic rename, so a SIGKILL
+// between the temp write and the rename leaves the original log fully
+// authoritative and readable. The on-disk state such a crash produces —
+// untouched log plus a completed (or torn) .checkpoint-*.log temp — must
+// reopen to the exact pre-compaction live set, with the stale temp swept.
+func TestLogStoreCrashMidCompaction(t *testing.T) {
+	final := DecisionResponse{Action: -1, Terminate: true, Value: 1}
+	for _, tornTemp := range []bool{false, true} {
+		name := "complete-temp"
+		if tornTemp {
+			name = "torn-temp"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			cp, err := NewLogCheckpointer(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := uint64(1); id <= 3; id++ {
+				if err := cp.Save(EpisodeState{EpisodeID: id, Belief: []float64{1}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := cp.Delete(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.SaveTombstone(TombstoneState{EpisodeID: 4, ClientKey: "k", Final: final}); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reconstruct the instant of death: compaction built its temp file
+			// (here: a payload that would change the live set if ever trusted,
+			// or a torn fragment) but the process was killed before the rename.
+			tmpBody := []byte("torn mid-wri")
+			if !tornTemp {
+				// A full, valid frame for a different episode — indistinguishable
+				// from a real compaction temp except for not having been renamed.
+				st := EpisodeState{EpisodeID: 99, Belief: []float64{1}}
+				payload, err := json.Marshal(logRecord{Op: "save", EpisodeID: 99, State: &st})
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf := make([]byte, 8+len(payload))
+				binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+				binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+				copy(buf[8:], payload)
+				tmpBody = buf
+			}
+			tmpPath := filepath.Join(dir, ".checkpoint-1234567.log")
+			if err := os.WriteFile(tmpPath, tmpBody, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// The restart: the untouched log is authoritative.
+			reopened, err := NewLogCheckpointer(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reopened.Close()
+			states, corrupt, err := reopened.LoadAll()
+			if err != nil || len(corrupt) != 0 {
+				t.Fatalf("LoadAll err=%v corrupt=%+v", err, corrupt)
+			}
+			if len(states) != 2 || states[0].EpisodeID != 1 || states[1].EpisodeID != 3 {
+				t.Fatalf("live set after crash-restart: %+v", states)
+			}
+			tombs, _, err := reopened.LoadTombstones()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tombs) != 1 || tombs[0].EpisodeID != 4 {
+				t.Fatalf("tombstones after crash-restart: %+v", tombs)
+			}
+			if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+				t.Errorf("stale compaction temp %s not swept on open (stat err: %v)", tmpPath, err)
+			}
+
+			// And a real compaction over the reopened store leaves exactly one
+			// file — the renamed log — still holding the same live set.
+			if err := reopened.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if e.Name() != logFileName {
+					t.Errorf("unexpected file after compaction: %s", e.Name())
+				}
+			}
+			states, _, _ = reopened.LoadAll()
+			tombs, _, _ = reopened.LoadTombstones()
+			if len(states) != 2 || len(tombs) != 1 {
+				t.Fatalf("compaction changed the live set: %d states, %d tombstones", len(states), len(tombs))
+			}
+		})
+	}
+}

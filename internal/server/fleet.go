@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"bpomdp/internal/fleet"
 )
@@ -106,6 +109,11 @@ func (s *Server) fleetStart(w http.ResponseWriter, r *http.Request, key string) 
 	}
 	s.mu.Lock()
 	_, known := s.byKey[key]
+	if !known {
+		// A tombstoned key is known too: handleStart's dedupe will answer
+		// with the original terminated episode's id.
+		_, known = s.tombByKey[key]
+	}
 	s.mu.Unlock()
 	if !known {
 		s.adoptKey(key)
@@ -136,15 +144,16 @@ func (s *Server) fleetEpisodeMiss(w http.ResponseWriter, r *http.Request) (retry
 	return s.adoptKey(key) > 0, false
 }
 
-// adoptKey scans the checkpoint stores of down members for episodes with the
-// given clientKey and adopts any this member now owns. Returns the number of
-// episodes adopted.
+// adoptKey scans the checkpoint stores of down members for episodes (and
+// terminal tombstones) with the given clientKey and adopts any this member
+// now owns. Returns the number of episodes adopted.
 func (s *Server) adoptKey(key string) int {
-	return s.adoptFromDown(func(st EpisodeState) bool { return st.ClientKey == key })
+	return s.adoptFromDown(func(k string) bool { return k == key })
 }
 
-// adoptFromDown runs adoption against every down member's store.
-func (s *Server) adoptFromDown(want func(EpisodeState) bool) int {
+// adoptFromDown runs adoption against every down member's store. want
+// filters by episode key.
+func (s *Server) adoptFromDown(want func(key string) bool) int {
 	f := s.cfg.Fleet
 	if f.StoreFor == nil {
 		return 0
@@ -165,7 +174,13 @@ func (s *Server) adoptFromDown(want func(EpisodeState) bool) int {
 // under the original id, persist into our own store, and delete from the
 // source so the member cannot resume them if it comes back — at-most-one
 // serving member per episode.
-func (s *Server) adoptFromMember(memberID string, want func(EpisodeState) bool) (int, error) {
+//
+// Tombstones are adopted before episodes: a terminal decision is the
+// episode's durable last word, and a crash on the source between
+// tombstone-write and record-delete can leave both in its store. Processing
+// tombstones first makes the tombstone win — the stale episode record is
+// deleted, never replayed into a live (re-decidable) episode.
+func (s *Server) adoptFromMember(memberID string, want func(key string) bool) (int, error) {
 	f := s.cfg.Fleet
 	if f.StoreFor == nil {
 		return 0, nil
@@ -183,22 +198,55 @@ func (s *Server) adoptFromMember(memberID string, want func(EpisodeState) bool) 
 	if err != nil {
 		return 0, fmt.Errorf("load store of %q: %w", memberID, err)
 	}
-	adopted := 0
-	var firstErr error
+	tombs, _, err := store.LoadTombstones()
+	if err != nil {
+		// Without the tombstone view, adopting episodes could resurrect an
+		// already-terminated one. Refuse the whole store.
+		return 0, fmt.Errorf("load tombstones of %q: %w", memberID, err)
+	}
+	stale := make(map[uint64]bool, len(states))
 	for _, st := range states {
-		if !want(st) {
+		stale[st.EpisodeID] = true
+	}
+	var firstErr error
+	tombed := make(map[uint64]bool)
+	for _, ts := range tombs {
+		if ts.ClientKey == "" || !want(ts.ClientKey) {
 			continue
 		}
 		// Only claim keys this member owns in the current view; other
 		// survivors claim their own ranges.
-		if st.ClientKey != "" {
-			if owner, ok := f.Membership.Owner(st.ClientKey); !ok || owner.ID != f.Self {
-				continue
+		if owner, ok := f.Membership.Owner(ts.ClientKey); !ok || owner.ID != f.Self {
+			continue
+		}
+		tombed[ts.EpisodeID] = true
+		s.adoptTombstone(ts)
+		if err := store.DeleteTombstone(ts.EpisodeID); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if stale[ts.EpisodeID] {
+			// The source crashed between tombstone-write and record-delete;
+			// finish its deletion so the record cannot be adopted or resumed.
+			if err := store.Delete(ts.EpisodeID); err != nil && firstErr == nil {
+				firstErr = err
 			}
-		} else {
+		}
+	}
+	adopted := 0
+	for _, st := range states {
+		if tombed[st.EpisodeID] {
+			continue
+		}
+		if st.ClientKey == "" {
 			// Keyless episodes cannot be routed (no key, no ring position),
 			// so no member can claim them without two members claiming the
 			// same episode. Left for the original member's restart.
+			continue
+		}
+		if !want(st.ClientKey) {
+			continue
+		}
+		if owner, ok := f.Membership.Owner(st.ClientKey); !ok || owner.ID != f.Self {
 			continue
 		}
 		if !s.adoptOne(st) {
@@ -217,6 +265,35 @@ func (s *Server) adoptFromMember(memberID string, want func(EpisodeState) bool) 
 	return adopted, firstErr
 }
 
+// adoptTombstone claims one foreign terminal tombstone: persist it into our
+// own store, then cache it. False when this id is already tombstoned here
+// (e.g. it arrived earlier via replication).
+func (s *Server) adoptTombstone(ts TombstoneState) bool {
+	s.mu.Lock()
+	_, have := s.tombstones[ts.EpisodeID]
+	s.mu.Unlock()
+	if have {
+		return false
+	}
+	if s.cfg.Checkpointer != nil {
+		if err := s.cfg.Checkpointer.SaveTombstone(ts); err != nil {
+			s.m.checkpointErrors.Inc()
+		}
+	}
+	s.mu.Lock()
+	s.insertTombstoneLocked(ts)
+	// The terminal decision supersedes any live copy of the same episode.
+	if ep, ok := s.episodes[ts.EpisodeID]; ok {
+		delete(s.episodes, ts.EpisodeID)
+		if ep.clientKey != "" {
+			delete(s.byKey, ep.clientKey)
+		}
+	}
+	s.mu.Unlock()
+	s.m.tombstonesAdopted.Inc()
+	return true
+}
+
 // adoptOne replays one foreign snapshot and registers it locally. False when
 // the episode is already present (or its key is taken) or replay fails.
 func (s *Server) adoptOne(st EpisodeState) bool {
@@ -224,8 +301,9 @@ func (s *Server) adoptOne(st EpisodeState) bool {
 	_, haveID := s.episodes[st.EpisodeID]
 	_, haveTomb := s.tombstones[st.EpisodeID]
 	_, haveKey := s.byKey[st.ClientKey]
+	_, haveTombKey := s.tombByKey[st.ClientKey]
 	s.mu.Unlock()
-	if haveID || haveTomb || haveKey {
+	if haveID || haveTomb || haveKey || haveTombKey {
 		return false
 	}
 	ep, err := s.replay(st)
@@ -240,6 +318,9 @@ func (s *Server) adoptOne(st EpisodeState) bool {
 		return false
 	}
 	if _, ok := s.byKey[st.ClientKey]; ok {
+		return false
+	}
+	if _, ok := s.tombByKey[st.ClientKey]; ok {
 		return false
 	}
 	s.episodes[st.EpisodeID] = ep
@@ -266,7 +347,7 @@ func (s *Server) MarkMemberDown(id string) (int, error) {
 	if _, err := f.Membership.MarkDown(id); err != nil {
 		return 0, err
 	}
-	n, err := s.adoptFromMember(id, func(EpisodeState) bool { return true })
+	n, err := s.adoptFromMember(id, func(string) bool { return true })
 	if err != nil {
 		s.m.adoptErrors.Inc()
 	}
@@ -276,13 +357,78 @@ func (s *Server) MarkMemberDown(id string) (int, error) {
 // MarkMemberUp flips a member back up in this node's view. Episodes already
 // adopted stay adopted (their source records were deleted); only keys that
 // never moved flow back to the returning member.
-func (s *Server) MarkMemberUp(id string) error {
+//
+// When the member being marked up is this node itself — the "dead member
+// returns" path — the node first reconciles its in-memory state against its
+// own checkpoint store. While it was presumed dead, survivors adopted its
+// episodes and tombstones by copying them and deleting the source records;
+// anything still in memory here whose record is gone now belongs to someone
+// else, and serving it would mean two members owning one episode. Those
+// entries are dropped; the count is returned.
+func (s *Server) MarkMemberUp(id string) (int, error) {
 	f := s.cfg.Fleet
 	if f == nil {
-		return fmt.Errorf("server: not in fleet mode")
+		return 0, fmt.Errorf("server: not in fleet mode")
 	}
-	_, err := f.Membership.MarkUp(id)
-	return err
+	if _, err := f.Membership.MarkUp(id); err != nil {
+		return 0, err
+	}
+	if id != f.Self {
+		return 0, nil
+	}
+	return s.reconcileOwnership(), nil
+}
+
+// reconcileOwnership drops in-memory episodes and tombstones whose durable
+// records are absent from this member's own checkpoint store — the signature
+// of having been adopted away. On any store read error it drops nothing:
+// serving a possibly-stale episode is recoverable (the adopter's copy wins
+// the redirect), while dropping a live one is not.
+func (s *Server) reconcileOwnership() int {
+	if s.cfg.Checkpointer == nil {
+		return 0
+	}
+	states, _, err := s.cfg.Checkpointer.LoadAll()
+	if err != nil {
+		return 0
+	}
+	tombs, _, err := s.cfg.Checkpointer.LoadTombstones()
+	if err != nil {
+		return 0
+	}
+	haveState := make(map[uint64]bool, len(states))
+	for _, st := range states {
+		haveState[st.EpisodeID] = true
+	}
+	haveTomb := make(map[uint64]bool, len(tombs))
+	for _, ts := range tombs {
+		haveTomb[ts.EpisodeID] = true
+	}
+	dropped := 0
+	s.mu.Lock()
+	for id, ep := range s.episodes {
+		if haveState[id] {
+			continue
+		}
+		delete(s.episodes, id)
+		if ep.clientKey != "" {
+			delete(s.byKey, ep.clientKey)
+		}
+		dropped++
+	}
+	for id, tb := range s.tombstones {
+		if haveTomb[id] {
+			continue
+		}
+		delete(s.tombstones, id)
+		if tb.key != "" {
+			delete(s.tombByKey, tb.key)
+		}
+		dropped++
+	}
+	s.mu.Unlock()
+	s.m.staleDropped.Add(uint64(dropped))
+	return dropped
 }
 
 // FleetView is returned by GET /v1/fleet.
@@ -297,6 +443,9 @@ type fleetAdminResponse struct {
 	Member  string `json:"member"`
 	Down    bool   `json:"down"`
 	Adopted int    `json:"adopted"`
+	// Dropped counts stale in-memory episodes/tombstones discarded when a
+	// returning member reconciles against its own store (self mark-up only).
+	Dropped int `json:"dropped,omitempty"`
 }
 
 func (s *Server) handleFleetView(w http.ResponseWriter, _ *http.Request) {
@@ -324,7 +473,8 @@ func (s *Server) handleFleetDown(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFleetUp(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.MarkMemberUp(id); err != nil {
+	dropped, err := s.MarkMemberUp(id)
+	if err != nil {
 		status := http.StatusBadRequest
 		if _, ok := s.cfg.Fleet.Membership.Member(id); !ok {
 			status = http.StatusNotFound
@@ -332,5 +482,122 @@ func (s *Server) handleFleetUp(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, fleetAdminResponse{Member: id, Down: false})
+	writeJSON(w, http.StatusOK, fleetAdminResponse{Member: id, Down: false, Dropped: dropped})
+}
+
+// tombstoneReplicaPath is the fleet-internal endpoint terminal tombstones
+// are replicated to (POST, body: one TombstoneState as JSON).
+const tombstoneReplicaPath = "/v1/fleet/tombstones"
+
+// tombstoneReplicateBackoff is the per-attempt delay schedule for tombstone
+// replication. Short and bounded: replication is best-effort narrowing of
+// the owner-death window, not a durability requirement — the owner's own
+// store already holds the record, and adoption recovers it from there.
+var tombstoneReplicateBackoff = []time.Duration{0, 50 * time.Millisecond, 200 * time.Millisecond}
+
+// fleetHTTPClient is the shared client for fleet-internal calls. The tight
+// timeout keeps a wedged peer from pinning replication goroutines.
+var fleetHTTPClient = &http.Client{Timeout: 2 * time.Second}
+
+// replicateTombstone asynchronously copies a terminal tombstone to the ring
+// successor of its key. The successor is exactly the member that will own
+// the key if this member dies — so when a still-retrying client fails over,
+// its final GET lands on a node already holding the decision, no adoption
+// round-trip needed. Fire-and-forget with bounded retries; Close aborts
+// in-flight backoff sleeps.
+func (s *Server) replicateTombstone(ts TombstoneState) {
+	f := s.cfg.Fleet
+	if f == nil || ts.ClientKey == "" {
+		return
+	}
+	succ, ok := f.Membership.Successor(ts.ClientKey)
+	if !ok || succ.ID == f.Self {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.repWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.repWG.Done()
+		for _, d := range tombstoneReplicateBackoff {
+			if d > 0 {
+				select {
+				case <-time.After(d):
+				case <-s.repStop:
+					return
+				}
+			}
+			if err := s.postTombstone(succ, ts); err == nil {
+				s.m.tombstonesReplicated.Inc()
+				return
+			}
+		}
+		s.m.tombstoneRepErrors.Inc()
+	}()
+}
+
+// postTombstone sends one tombstone to a peer's replica endpoint.
+func (s *Server) postTombstone(to fleet.Member, ts TombstoneState) error {
+	body, err := json.Marshal(ts)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(to.Addr, "/")+tombstoneReplicaPath, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := fleetHTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("tombstone replica to %q: status %d", to.ID, resp.StatusCode)
+	}
+	return nil
+}
+
+// handleTombstoneReplica accepts a tombstone replicated by a fleet peer.
+// DecodeTombstoneState is the trust boundary: a malformed or non-terminal
+// record is rejected before it can shadow a live episode.
+func (s *Server) handleTombstoneReplica(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read tombstone body: %w", err))
+		return
+	}
+	ts, err := DecodeTombstoneState(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.acceptTombstone(ts); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// acceptTombstone durably stores a replicated tombstone and caches it. The
+// store write comes first: the point of the replica is surviving this
+// member's own crash.
+func (s *Server) acceptTombstone(ts TombstoneState) error {
+	var saveErr error
+	if s.cfg.Checkpointer != nil {
+		if saveErr = s.cfg.Checkpointer.SaveTombstone(ts); saveErr != nil {
+			s.m.checkpointErrors.Inc()
+		}
+	}
+	s.mu.Lock()
+	s.insertTombstoneLocked(ts)
+	s.mu.Unlock()
+	s.m.tombstonesReceived.Inc()
+	return saveErr
 }

@@ -350,3 +350,107 @@ func TestFleetConfigValidation(t *testing.T) {
 		t.Error("nil membership accepted")
 	}
 }
+
+// TestFleetDeadMemberReturns is the partition-heal regression: a member whose
+// episodes and tombstones were adopted away while it was considered down must
+// not keep serving its stale in-memory copies once it is marked up again —
+// that would be double ownership, with the client's view deciding which copy
+// it talks to. Marking itself up must reconcile against its own (now emptied)
+// store and drop everything that moved.
+func TestFleetDeadMemberReturns(t *testing.T) {
+	nodes, _ := newFleetPair(t)
+	a, b := nodes["a"], nodes["b"]
+
+	// Two episodes on a: one live, one driven to termination (a tombstone).
+	liveKey := keyOwnedBy(t, a.view, "a")
+	var deadKey string
+	for i := 0; deadKey == "" && i < 10000; i++ {
+		k := fmt.Sprintf("tk-a-%d", i)
+		if o, ok := a.view.Owner(k); ok && o.ID == "a" {
+			deadKey = k
+		}
+	}
+	if deadKey == "" {
+		t.Fatal("no terminal key hashed to a")
+	}
+	deadID, final := driveTerminal(t, a.hs, a.srv.cfg.Model, deadKey)
+	resp, err := http.Post(a.hs.URL+"/v1/episodes", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"clientKey":%q}`, liveKey)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started StartResponse
+	if err := json.NewDecoder(resp.Body).Decode(&started); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Partition, not crash: a keeps running while b declares it down and
+	// adopts its key range from the shared store root.
+	if adopted, err := b.srv.MarkMemberDown("a"); err != nil || adopted != 1 {
+		t.Fatalf("MarkMemberDown adopted %d (err=%v), want 1", adopted, err)
+	}
+
+	// The bug surface: a still answers for the adopted-away episode.
+	resp, err = http.Get(a.hs.URL + fmt.Sprintf("/v1/episodes/%d", started.EpisodeID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stale); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !stale.Open {
+		t.Fatalf("pre-heal status on a: %+v, expected the stale copy to still be served", stale)
+	}
+
+	// Heal: a marks itself up and must reconcile against its own store.
+	resp, err = http.Post(a.hs.URL+"/v1/fleet/members/a/up", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admin fleetAdminResponse
+	if err := json.NewDecoder(resp.Body).Decode(&admin); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || admin.Dropped != 2 {
+		t.Fatalf("self mark-up: status %d dropped %d, want 200 and 2 (episode + tombstone)", resp.StatusCode, admin.Dropped)
+	}
+	if a.srv.OpenEpisodes() != 0 {
+		t.Errorf("a still holds %d episodes after reconcile", a.srv.OpenEpisodes())
+	}
+	// No double ownership: a no longer answers for either id...
+	resp, err = http.Get(a.hs.URL + fmt.Sprintf("/v1/episodes/%d", started.EpisodeID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("post-heal keyless status on a: %d, want 404", resp.StatusCode)
+	}
+	if status, _ := getDecision(t, a.hs.URL, deadID); status != http.StatusNotFound {
+		t.Errorf("post-heal tombstone decision on a: status %d, want 404", status)
+	}
+	// ...while b serves the adopted episode and replays the terminal decision.
+	resp, err = http.Get(b.hs.URL + fmt.Sprintf("/v1/episodes/%d", started.EpisodeID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adoptedSt StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&adoptedSt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !adoptedSt.Open || adoptedSt.EpisodeID != started.EpisodeID {
+		t.Errorf("adopted episode on b: %+v", adoptedSt)
+	}
+	if status, replayed := getDecision(t, b.hs.URL, deadID); status != http.StatusOK || replayed != final {
+		t.Errorf("terminal replay on b: status %d decision %+v, want %+v", status, replayed, final)
+	}
+	// Marking up again is a clean no-op.
+	if n, err := a.srv.MarkMemberUp("a"); err != nil || n != 0 {
+		t.Errorf("second self mark-up dropped %d (err=%v), want 0", n, err)
+	}
+}

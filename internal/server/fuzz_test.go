@@ -55,15 +55,21 @@ func FuzzLogRecordDecode(f *testing.F) {
 	}
 	save := frame(`{"op":"save","episodeId":1,"state":{"episodeId":1,"steps":0,"belief":[1]}}`)
 	del := frame(`{"op":"delete","episodeId":1}`)
+	tomb := frame(`{"op":"tomb","episodeId":1,"tomb":{"episodeId":1,"clientKey":"k","steps":2,"final":{"action":-1,"terminate":true,"value":3.5},"terminatedAtUnixNano":7}}`)
+	untomb := frame(`{"op":"untomb","episodeId":1}`)
 	f.Add([]byte{})
 	f.Add(save)
 	f.Add(append(append([]byte{}, save...), del...))
 	f.Add(append(append([]byte{}, save...), save[:len(save)-3]...)) // torn tail
+	f.Add(tomb)
+	f.Add(append(append([]byte{}, tomb...), untomb...))
+	f.Add(append(append([]byte{}, save...), tomb...))                  // both namespaces, same id
+	f.Add(frame(`{"op":"tomb","episodeId":2,"tomb":{"episodeId":1}}`)) // id disagreement
 	f.Add(frame(`not json`))
 	f.Add(frame(`{"op":"warp"}`))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // absurd length prefix
 	f.Fuzz(func(t *testing.T, data []byte) {
-		states, liveBytes, corrupt, validLen := scanLog(data)
+		states, tombs, liveBytes, corrupt, validLen := scanLog(data)
 		if validLen < 0 || validLen > int64(len(data)) {
 			t.Fatalf("validLen %d out of range [0, %d]", validLen, len(data))
 		}
@@ -78,18 +84,27 @@ func FuzzLogRecordDecode(f *testing.F) {
 				t.Fatalf("live state fails validation: %v", err)
 			}
 		}
+		for id, ts := range tombs {
+			if id != ts.EpisodeID {
+				t.Fatalf("tombstone keyed %d has id %d", id, ts.EpisodeID)
+			}
+			if err := ts.validate(); err != nil {
+				t.Fatalf("live tombstone fails validation: %v", err)
+			}
+		}
 		// Re-scanning the valid prefix is a fixed point: same states, same
-		// accounting, nothing newly corrupt or torn.
-		states2, liveBytes2, corrupt2, validLen2 := scanLog(data[:validLen])
+		// tombstones, same accounting, nothing newly corrupt or torn.
+		states2, tombs2, liveBytes2, corrupt2, validLen2 := scanLog(data[:validLen])
 		if validLen2 != validLen || liveBytes2 != liveBytes ||
-			len(corrupt2) != len(corrupt) || !reflect.DeepEqual(states, states2) {
+			len(corrupt2) != len(corrupt) || !reflect.DeepEqual(states, states2) ||
+			!reflect.DeepEqual(tombs, tombs2) {
 			t.Fatalf("re-scan of valid prefix diverged: len %d vs %d, live %d vs %d, corrupt %d vs %d",
 				validLen, validLen2, liveBytes, liveBytes2, len(corrupt), len(corrupt2))
 		}
 		// And the prefix really is frame-aligned: appending a fresh valid
 		// frame extends it by exactly that frame.
 		extended := append(append([]byte{}, data[:validLen]...), del...)
-		_, _, _, validLen3 := scanLog(extended)
+		_, _, _, _, validLen3 := scanLog(extended)
 		if want := validLen + int64(len(del)); validLen3 != want {
 			t.Fatalf("appending a valid frame: validLen %d, want %d", validLen3, want)
 		}

@@ -25,17 +25,21 @@ const maxLogRecordBytes = 16 << 20
 const defaultCompactMinBytes = 1 << 20
 
 // logRecord is one entry in the checkpoint log: a full episode snapshot
-// ("save") or a tombstone ("delete"). The log is a redo log, not a diff log —
-// replaying records in order, last-writer-wins per episode, reconstructs the
-// live set exactly.
+// ("save"), an episode deletion ("delete"), a terminal tombstone ("tomb"),
+// or a tombstone eviction ("untomb"). The log is a redo log, not a diff
+// log — replaying records in order, last-writer-wins per id within each
+// namespace (episodes and tombstones are independent), reconstructs the live
+// sets exactly.
 type logRecord struct {
-	Op        string        `json:"op"`
-	EpisodeID uint64        `json:"episodeId"`
-	State     *EpisodeState `json:"state,omitempty"`
+	Op        string          `json:"op"`
+	EpisodeID uint64          `json:"episodeId"`
+	State     *EpisodeState   `json:"state,omitempty"`
+	Tomb      *TombstoneState `json:"tomb,omitempty"`
 }
 
 // LogCheckpointer is an append-only log-structured checkpoint store: every
-// Save/Delete appends one fsynced record framed as
+// Save/Delete/SaveTombstone/DeleteTombstone appends one fsynced record
+// framed as
 //
 //	u32 payload length (LE) | u32 CRC-32 (IEEE) of payload | JSON payload
 //
@@ -51,17 +55,19 @@ type logRecord struct {
 // threshold with less than half of it live — rewrites live records to a temp
 // file and atomically renames it over the log.
 type LogCheckpointer struct {
-	mu          sync.Mutex
-	dir         string
-	path        string
-	f           *os.File
-	size        int64
-	liveBytes   int64 // framed size of the latest live save record per episode
-	compactMin  int64
-	states      map[uint64]EpisodeState
-	recBytes    map[uint64]int64
-	corrupt     []CorruptCheckpoint
-	compactions int
+	mu           sync.Mutex
+	dir          string
+	path         string
+	f            *os.File
+	size         int64
+	liveBytes    int64 // framed size of the latest live save/tomb record per id
+	compactMin   int64
+	states       map[uint64]EpisodeState
+	recBytes     map[uint64]int64
+	tombs        map[uint64]TombstoneState
+	tombRecBytes map[uint64]int64
+	corrupt      []CorruptCheckpoint
+	compactions  int
 }
 
 var _ Checkpointer = (*LogCheckpointer)(nil)
@@ -80,6 +86,14 @@ func NewLogCheckpointer(dir string) (*LogCheckpointer, error) {
 		path:       filepath.Join(dir, logFileName),
 		compactMin: defaultCompactMinBytes,
 	}
+	// A crash between compaction's temp-file write and its rename leaves a
+	// stale .checkpoint-*.log temp next to the (still authoritative) log;
+	// sweep such leftovers so they never accumulate or get mistaken for data.
+	if stale, err := filepath.Glob(filepath.Join(dir, ".checkpoint-*.log")); err == nil {
+		for _, p := range stale {
+			_ = os.Remove(p)
+		}
+	}
 	if err := c.open(); err != nil {
 		return nil, err
 	}
@@ -94,7 +108,7 @@ func (c *LogCheckpointer) open() error {
 	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("server: read checkpoint log: %w", err)
 	}
-	states, liveBytes, corrupt, validLen := scanLog(data)
+	states, tombs, liveBytes, corrupt, validLen := scanLog(data)
 	if validLen < int64(len(data)) {
 		// Torn tail from a crash mid-append: drop it so the next append
 		// starts on a clean frame boundary.
@@ -110,12 +124,17 @@ func (c *LogCheckpointer) open() error {
 	c.size = validLen
 	c.liveBytes = liveBytes
 	c.states = states
+	c.tombs = tombs
 	c.corrupt = corrupt
 	c.recBytes = make(map[uint64]int64, len(states))
-	// Per-episode record sizes are only needed for liveBytes upkeep; seed
-	// them from a re-marshal (compaction would write exactly this).
+	c.tombRecBytes = make(map[uint64]int64, len(tombs))
+	// Per-id record sizes are only needed for liveBytes upkeep; seed them
+	// from a re-marshal (compaction would write exactly this).
 	for id, st := range states {
 		c.recBytes[id] = framedSize(logRecord{Op: "save", EpisodeID: id, State: &st})
+	}
+	for id, ts := range tombs {
+		c.tombRecBytes[id] = framedSize(logRecord{Op: "tomb", EpisodeID: id, Tomb: &ts})
 	}
 	return nil
 }
@@ -131,14 +150,16 @@ func framedSize(rec logRecord) int64 {
 }
 
 // scanLog replays a checkpoint log image and returns the live episode set,
-// the framed bytes of the live save records, any corrupt (checksum-valid but
-// undecodable) records, and the length of the valid frame prefix. Bytes past
-// validLen are a torn tail: a truncated or checksum-failing frame and
-// everything after it. scanLog is pure — it is the fuzz target guarding the
-// store's crash-recovery path.
-func scanLog(data []byte) (states map[uint64]EpisodeState, liveBytes int64, corrupt []CorruptCheckpoint, validLen int64) {
+// the live tombstone set, the framed bytes of the live save/tomb records,
+// any corrupt (checksum-valid but undecodable) records, and the length of
+// the valid frame prefix. Bytes past validLen are a torn tail: a truncated
+// or checksum-failing frame and everything after it. scanLog is pure — it is
+// the fuzz target guarding the store's crash-recovery path.
+func scanLog(data []byte) (states map[uint64]EpisodeState, tombs map[uint64]TombstoneState, liveBytes int64, corrupt []CorruptCheckpoint, validLen int64) {
 	states = make(map[uint64]EpisodeState)
+	tombs = make(map[uint64]TombstoneState)
 	recBytes := make(map[uint64]int64)
+	tombRecBytes := make(map[uint64]int64)
 	var off int64
 	for {
 		rest := data[off:]
@@ -196,11 +217,36 @@ func scanLog(data []byte) (states map[uint64]EpisodeState, liveBytes int64, corr
 			liveBytes -= recBytes[rec.EpisodeID]
 			delete(recBytes, rec.EpisodeID)
 			delete(states, rec.EpisodeID)
+		case "tomb":
+			if rec.Tomb == nil {
+				bad(rec.EpisodeID, fmt.Errorf("tomb record without tombstone"))
+				continue
+			}
+			if err := rec.Tomb.validate(); err != nil {
+				bad(rec.EpisodeID, err)
+				continue
+			}
+			if rec.EpisodeID != rec.Tomb.EpisodeID {
+				bad(rec.EpisodeID, fmt.Errorf("record id %d disagrees with tombstone id %d", rec.EpisodeID, rec.Tomb.EpisodeID))
+				continue
+			}
+			id := rec.Tomb.EpisodeID
+			liveBytes += frame - tombRecBytes[id]
+			tombRecBytes[id] = frame
+			tombs[id] = *rec.Tomb
+		case "untomb":
+			if rec.EpisodeID == 0 {
+				bad(0, fmt.Errorf("untomb record without episode id"))
+				continue
+			}
+			liveBytes -= tombRecBytes[rec.EpisodeID]
+			delete(tombRecBytes, rec.EpisodeID)
+			delete(tombs, rec.EpisodeID)
 		default:
 			bad(rec.EpisodeID, fmt.Errorf("unknown op %q", rec.Op))
 		}
 	}
-	return states, liveBytes, corrupt, off
+	return states, tombs, liveBytes, corrupt, off
 }
 
 // appendLocked frames, appends, and fsyncs one record. Caller holds c.mu.
@@ -244,7 +290,7 @@ func (c *LogCheckpointer) Save(st EpisodeState) error {
 	return c.maybeCompactLocked()
 }
 
-// Delete implements Checkpointer. A tombstone is only appended when the
+// Delete implements Checkpointer. A delete record is only appended when the
 // episode is live, so repeated deletes do not grow the log.
 func (c *LogCheckpointer) Delete(id uint64) error {
 	c.mu.Lock()
@@ -269,6 +315,56 @@ func (c *LogCheckpointer) LoadAll() ([]EpisodeState, []CorruptCheckpoint, error)
 	out := make([]EpisodeState, 0, len(c.states))
 	for _, st := range c.states {
 		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EpisodeID < out[j].EpisodeID })
+	return out, append([]CorruptCheckpoint(nil), c.corrupt...), nil
+}
+
+// SaveTombstone implements Checkpointer: one fsynced "tomb" record in the
+// same CRC-framed format as episode saves, compacted alongside them.
+func (c *LogCheckpointer) SaveTombstone(ts TombstoneState) error {
+	if err := ts.validate(); err != nil {
+		return fmt.Errorf("server: refusing to store invalid tombstone: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	frame, err := c.appendLocked(logRecord{Op: "tomb", EpisodeID: ts.EpisodeID, Tomb: &ts})
+	if err != nil {
+		return err
+	}
+	c.liveBytes += frame - c.tombRecBytes[ts.EpisodeID]
+	c.tombRecBytes[ts.EpisodeID] = frame
+	c.tombs[ts.EpisodeID] = ts
+	return c.maybeCompactLocked()
+}
+
+// DeleteTombstone implements Checkpointer. An "untomb" record is only
+// appended when the tombstone is live, so repeated deletes do not grow the
+// log.
+func (c *LogCheckpointer) DeleteTombstone(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tombs[id]; !ok {
+		return nil
+	}
+	if _, err := c.appendLocked(logRecord{Op: "untomb", EpisodeID: id}); err != nil {
+		return err
+	}
+	c.liveBytes -= c.tombRecBytes[id]
+	delete(c.tombRecBytes, id)
+	delete(c.tombs, id)
+	return c.maybeCompactLocked()
+}
+
+// LoadTombstones implements Checkpointer, returning the live tombstone set
+// sorted by episode id plus any corrupt records found when the log was
+// opened.
+func (c *LogCheckpointer) LoadTombstones() ([]TombstoneState, []CorruptCheckpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TombstoneState, 0, len(c.tombs))
+	for _, ts := range c.tombs {
+		out = append(out, ts)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].EpisodeID < out[j].EpisodeID })
 	return out, append([]CorruptCheckpoint(nil), c.corrupt...), nil
@@ -302,6 +398,20 @@ func (c *LogCheckpointer) compactLocked() error {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("server: compact checkpoint log: %w", err)
 	}
+	writeRec := func(rec logRecord) (int64, error) {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, 8+len(payload))
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+		copy(buf[8:], payload)
+		if _, err := tmp.Write(buf); err != nil {
+			return 0, err
+		}
+		return int64(len(buf)), nil
+	}
 	ids := make([]uint64, 0, len(c.states))
 	for id := range c.states {
 		ids = append(ids, id)
@@ -311,19 +421,30 @@ func (c *LogCheckpointer) compactLocked() error {
 	recBytes := make(map[uint64]int64, len(ids))
 	for _, id := range ids {
 		st := c.states[id]
-		payload, err := json.Marshal(logRecord{Op: "save", EpisodeID: id, State: &st})
+		n, err := writeRec(logRecord{Op: "save", EpisodeID: id, State: &st})
 		if err != nil {
 			return fail(err)
 		}
-		buf := make([]byte, 8+len(payload))
-		binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-		copy(buf[8:], payload)
-		if _, err := tmp.Write(buf); err != nil {
+		recBytes[id] = n
+		size += n
+	}
+	// Live tombstones are data, not garbage: compaction rewrites them so a
+	// terminal decision stays replayable until its TTL eviction, not until
+	// the next compaction.
+	tombIDs := make([]uint64, 0, len(c.tombs))
+	for id := range c.tombs {
+		tombIDs = append(tombIDs, id)
+	}
+	sort.Slice(tombIDs, func(i, j int) bool { return tombIDs[i] < tombIDs[j] })
+	tombRecBytes := make(map[uint64]int64, len(tombIDs))
+	for _, id := range tombIDs {
+		ts := c.tombs[id]
+		n, err := writeRec(logRecord{Op: "tomb", EpisodeID: id, Tomb: &ts})
+		if err != nil {
 			return fail(err)
 		}
-		recBytes[id] = int64(len(buf))
-		size += int64(len(buf))
+		tombRecBytes[id] = n
+		size += n
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
@@ -346,6 +467,7 @@ func (c *LogCheckpointer) compactLocked() error {
 	c.size = size
 	c.liveBytes = size
 	c.recBytes = recBytes
+	c.tombRecBytes = tombRecBytes
 	// Compaction rewrote the file; the corrupt records it carried are gone.
 	c.corrupt = nil
 	c.compactions++

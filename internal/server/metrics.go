@@ -29,6 +29,13 @@ type serverMetrics struct {
 	adopted          *obs.Counter
 	adoptErrors      *obs.Counter
 
+	tombstonesReplicated *obs.Counter
+	tombstoneRepErrors   *obs.Counter
+	tombstonesReceived   *obs.Counter
+	tombstonesAdopted    *obs.Counter
+	tombstonesEvicted    *obs.Counter
+	staleDropped         *obs.Counter
+
 	latStart   *obs.Histogram
 	latObserve *obs.Histogram
 	latDecide  *obs.Histogram
@@ -61,10 +68,17 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		redirects:        reg.Counter("recoverd_fleet_redirects_total", "Requests redirected to the owning fleet member."),
 		adopted:          reg.Counter("recoverd_fleet_adopted_total", "Episodes adopted from down fleet members."),
 		adoptErrors:      reg.Counter("recoverd_fleet_adopt_errors_total", "Episode adoption failures (store or replay)."),
-		latStart:         lat("start"),
-		latObserve:       lat("observe"),
-		latDecide:        lat("decide"),
-		latBatch:         lat("batch"),
+
+		tombstonesReplicated: reg.Counter("recoverd_tombstones_replicated_total", "Terminal tombstones replicated to the ring successor."),
+		tombstoneRepErrors:   reg.Counter("recoverd_tombstone_replication_errors_total", "Tombstone replications that exhausted their retries."),
+		tombstonesReceived:   reg.Counter("recoverd_tombstones_received_total", "Replicated tombstones accepted from fleet peers."),
+		tombstonesAdopted:    reg.Counter("recoverd_tombstones_adopted_total", "Tombstones adopted from down fleet members' stores."),
+		tombstonesEvicted:    reg.Counter("recoverd_tombstones_evicted_total", "Tombstones evicted by the TTL janitor."),
+		staleDropped:         reg.Counter("recoverd_fleet_stale_dropped_total", "Stale episodes/tombstones dropped on self mark-up reconcile."),
+		latStart:             lat("start"),
+		latObserve:           lat("observe"),
+		latDecide:            lat("decide"),
+		latBatch:             lat("batch"),
 	}
 }
 

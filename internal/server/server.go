@@ -88,6 +88,16 @@ type Config struct {
 	// EpisodeTTL evicts episodes idle longer than this (abandoned-monitor
 	// GC). 0 disables eviction.
 	EpisodeTTL time.Duration
+	// TombstoneTTL evicts terminal tombstones older than this from memory
+	// and the checkpoint store. 0 means EpisodeTTL governs tombstones too.
+	// The effective TTL must cover ClientRetryBudget when both are set.
+	TombstoneTTL time.Duration
+	// ClientRetryBudget is the longest retry budget clients of this server
+	// are configured with (client.RetryPolicy.Budget). When set, New rejects
+	// an effective tombstone TTL below it: evicting a terminal decision
+	// while a client may still be retrying its final GET re-opens the
+	// lost-final-decision window the tombstones exist to close.
+	ClientRetryBudget time.Duration
 	// MaxBodyBytes caps request body size (0 means 1 MiB).
 	MaxBodyBytes int64
 	// NewBatchDecider, when non-nil, enables POST /v1/decide/batch: it
@@ -125,6 +135,15 @@ type Config struct {
 	now func() time.Time
 }
 
+// effectiveTombstoneTTL is the TTL actually applied to tombstones:
+// TombstoneTTL, falling back to EpisodeTTL (0 disables eviction).
+func (c *Config) effectiveTombstoneTTL() time.Duration {
+	if c.TombstoneTTL > 0 {
+		return c.TombstoneTTL
+	}
+	return c.EpisodeTTL
+}
+
 // Server is the HTTP recovery service. Create one with New and mount it as
 // an http.Handler. Call Close on shutdown to stop the eviction janitor and
 // write a final checkpoint of every open episode.
@@ -136,11 +155,21 @@ type Server struct {
 	episodes   map[uint64]*episode
 	byKey      map[string]uint64 // clientKey -> open episode id
 	tombstones map[uint64]*tombstone
-	nextID     uint64
-	closed     bool
+	tombByKey  map[string]uint64 // clientKey -> terminated episode id
+	// tombOverflow is set when the in-memory tombstone cache evicted past its
+	// cap; it tells Sweep that the store may hold expired tombstones the
+	// cache no longer sees.
+	tombOverflow bool
+	nextID       uint64
+	closed       bool
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+
+	// repWG tracks in-flight tombstone replication goroutines; repStop aborts
+	// their backoff sleeps on Close.
+	repWG   sync.WaitGroup
+	repStop chan struct{}
 
 	// restored is written by restore() during New and read by Restored() and
 	// /metrics; it shares s.mu so those reads are race-clean even when a
@@ -176,14 +205,22 @@ type episode struct {
 
 // tombstone remembers a terminated episode's final decision so a client
 // whose response was lost by the network can retry the GET and still learn
-// the episode is over.
+// the episode is over. The in-memory table is a write-through cache over the
+// checkpoint store's durable TombstoneState records: termination persists
+// the record before the episode state is deleted, so the final decision
+// survives a crash, a restart, and (via replication and adoption) the death
+// of the whole member.
 type tombstone struct {
 	final DecisionResponse
+	key   string
+	steps int
 	at    time.Time
 }
 
-// maxTombstones caps remembered terminal decisions; the oldest is evicted
-// past the cap.
+// maxTombstones caps the in-memory tombstone cache; the oldest entry is
+// evicted past the cap. Cache eviction is memory-only — the durable store
+// record stays until its TTL expires, and a request for an evicted id falls
+// back to a store lookup.
 const maxTombstones = 4096
 
 // RestoreFailure describes one checkpoint that could not be resumed.
@@ -199,6 +236,10 @@ type RestoreFailure struct {
 type RestoreReport struct {
 	// Resumed counts episodes successfully rebuilt by history replay.
 	Resumed int
+	// Tombstones counts terminal tombstones restored from the store, so
+	// clients retrying a final GET across the restart still get their
+	// terminal decision.
+	Tombstones int
 	// Failed lists episodes whose replay failed; their checkpoint files are
 	// left in place for inspection but the episodes are not served.
 	Failed []RestoreFailure
@@ -235,6 +276,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.EpisodeTTL < 0 {
 		return nil, fmt.Errorf("server: negative episode TTL %v", cfg.EpisodeTTL)
 	}
+	if cfg.TombstoneTTL < 0 {
+		return nil, fmt.Errorf("server: negative tombstone TTL %v", cfg.TombstoneTTL)
+	}
+	if cfg.ClientRetryBudget < 0 {
+		return nil, fmt.Errorf("server: negative client retry budget %v", cfg.ClientRetryBudget)
+	}
+	if ttl := cfg.effectiveTombstoneTTL(); ttl > 0 && cfg.ClientRetryBudget > 0 && ttl < cfg.ClientRetryBudget {
+		return nil, fmt.Errorf("server: tombstone TTL %v is below the client retry budget %v — a still-retrying client could lose its terminal decision", ttl, cfg.ClientRetryBudget)
+	}
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = time.Second
 	}
@@ -260,6 +310,8 @@ func New(cfg Config) (*Server, error) {
 		episodes:   make(map[uint64]*episode),
 		byKey:      make(map[string]uint64),
 		tombstones: make(map[uint64]*tombstone),
+		tombByKey:  make(map[string]uint64),
+		repStop:    make(chan struct{}),
 		nextID:     cfg.EpisodeIDBase,
 		m:          newServerMetrics(reg),
 	}
@@ -286,12 +338,13 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /v1/fleet", s.handleFleetView)
 		s.mux.HandleFunc("POST /v1/fleet/members/{id}/down", s.handleFleetDown)
 		s.mux.HandleFunc("POST /v1/fleet/members/{id}/up", s.handleFleetUp)
+		s.mux.HandleFunc("POST /v1/fleet/tombstones", s.handleTombstoneReplica)
 	}
 	if cfg.Checkpointer != nil {
 		s.restore()
 		s.m.resumed.Add(uint64(s.restored.Resumed))
 	}
-	if cfg.EpisodeTTL > 0 {
+	if cfg.EpisodeTTL > 0 || cfg.effectiveTombstoneTTL() > 0 {
 		s.janitorStop = make(chan struct{})
 		s.janitorDone = make(chan struct{})
 		go s.janitor()
@@ -300,16 +353,38 @@ func New(cfg Config) (*Server, error) {
 }
 
 // restore rebuilds episodes from checkpoints by replaying each recorded
-// history through a fresh controller from the factory.
+// history through a fresh controller from the factory, and reloads stored
+// terminal tombstones so clients retrying a final GET across the restart
+// still get their terminal decision.
 func (s *Server) restore() {
 	states, corrupt, err := s.cfg.Checkpointer.LoadAll()
+	tombs, tombCorrupt, tombErr := s.cfg.Checkpointer.LoadTombstones()
+	var stale []uint64
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.restored.LoadErr = err
-	for _, c := range corrupt {
+	s.restored.LoadErr = errors.Join(err, tombErr)
+	for _, c := range append(corrupt, tombCorrupt...) {
 		s.restored.Failed = append(s.restored.Failed, RestoreFailure{EpisodeID: c.EpisodeID, Name: c.Name, Err: c.Err})
 	}
+	tombed := make(map[uint64]bool, len(tombs))
+	for _, ts := range tombs {
+		tombed[ts.EpisodeID] = true
+		s.insertTombstoneLocked(ts)
+		s.restored.Tombstones++
+		// Tombstoned ids must advance the allocator like live ones: a fresh
+		// episode minted at a tombstoned id would shadow the terminal
+		// decision and corrupt both store namespaces.
+		if sameIDRange(ts.EpisodeID, s.cfg.EpisodeIDBase) && ts.EpisodeID > s.nextID {
+			s.nextID = ts.EpisodeID
+		}
+	}
 	for _, st := range states {
+		if tombed[st.EpisodeID] {
+			// The previous process crashed between persisting the tombstone
+			// (write-ahead) and deleting the episode record: the episode is
+			// over; the tombstone wins and the stale record is cleaned up.
+			stale = append(stale, st.EpisodeID)
+			continue
+		}
 		// Only ids from this member's own range advance the allocator: an
 		// adopted foreign-range id must not jump nextID into another
 		// member's space.
@@ -327,6 +402,56 @@ func (s *Server) restore() {
 		}
 		s.restored.Resumed++
 	}
+	s.mu.Unlock()
+	for _, id := range stale {
+		if derr := s.cfg.Checkpointer.Delete(id); derr != nil {
+			s.m.checkpointErrors.Inc()
+		}
+	}
+}
+
+// insertTombstoneLocked registers one tombstone in the in-memory cache.
+// Caller holds s.mu.
+func (s *Server) insertTombstoneLocked(ts TombstoneState) {
+	at := s.cfg.now()
+	if ts.TerminatedAtUnixNano > 0 {
+		at = time.Unix(0, ts.TerminatedAtUnixNano)
+	}
+	s.tombstones[ts.EpisodeID] = &tombstone{final: ts.Final, key: ts.ClientKey, steps: ts.Steps, at: at}
+	if ts.ClientKey != "" {
+		s.tombByKey[ts.ClientKey] = ts.EpisodeID
+	}
+	s.trimTombstonesLocked()
+}
+
+// tombstoneStateOf rebuilds the durable record from a cached tombstone.
+func tombstoneStateOf(id uint64, tb *tombstone) TombstoneState {
+	return TombstoneState{
+		EpisodeID:            id,
+		ClientKey:            tb.key,
+		Steps:                tb.steps,
+		Final:                tb.final,
+		TerminatedAtUnixNano: tb.at.UnixNano(),
+	}
+}
+
+// loadStoredTombstone consults the checkpoint store for a tombstone the
+// in-memory cache no longer holds (evicted past the cap). Lookups by unknown
+// id are rare, so a store scan here is acceptable.
+func (s *Server) loadStoredTombstone(id uint64) (TombstoneState, bool) {
+	if s.cfg.Checkpointer == nil {
+		return TombstoneState{}, false
+	}
+	tombs, _, err := s.cfg.Checkpointer.LoadTombstones()
+	if err != nil {
+		return TombstoneState{}, false
+	}
+	for _, ts := range tombs {
+		if ts.EpisodeID == id {
+			return ts, true
+		}
+	}
+	return TombstoneState{}, false
 }
 
 // replay builds a fresh controller and feeds it the checkpointed history,
@@ -409,6 +534,10 @@ func (s *Server) Close() error {
 		close(s.janitorStop)
 		<-s.janitorDone
 	}
+	// Abort replication backoff sleeps and wait for in-flight senders; the
+	// closed flag (set above) stops new ones from spawning.
+	close(s.repStop)
+	s.repWG.Wait()
 	var firstErr error
 	if s.cfg.Checkpointer != nil {
 		for _, ep := range eps {
@@ -426,7 +555,11 @@ func (s *Server) Close() error {
 // janitor periodically evicts idle episodes and expired tombstones.
 func (s *Server) janitor() {
 	defer close(s.janitorDone)
-	interval := s.cfg.EpisodeTTL / 4
+	shortest := s.cfg.EpisodeTTL
+	if t := s.cfg.effectiveTombstoneTTL(); shortest <= 0 || (t > 0 && t < shortest) {
+		shortest = t
+	}
+	interval := shortest / 4
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
@@ -443,32 +576,48 @@ func (s *Server) janitor() {
 }
 
 // Sweep evicts episodes idle longer than EpisodeTTL and tombstones older
-// than the TTL, returning how many episodes were evicted. The janitor calls
-// it periodically; tests may call it directly.
+// than the effective tombstone TTL, returning how many episodes were
+// evicted. Tombstone eviction is store-backed: the durable record is deleted
+// with the cache entry, and when the cache has overflowed its cap the store
+// itself is scanned so evicted-from-memory tombstones still expire. The
+// janitor calls Sweep periodically; tests may call it directly.
 func (s *Server) Sweep() int {
-	if s.cfg.EpisodeTTL <= 0 {
-		return 0
-	}
 	now := s.cfg.now()
-	cutoff := now.Add(-s.cfg.EpisodeTTL)
+	var expired []*episode
+	var expiredTombs []uint64
+	scanStore := false
+	tombTTL := s.cfg.effectiveTombstoneTTL()
 
 	s.mu.Lock()
-	var expired []*episode
-	for _, ep := range s.episodes {
-		ep.mu.Lock()
-		idle := ep.lastActive.Before(cutoff)
-		ep.mu.Unlock()
-		if idle {
-			expired = append(expired, ep)
-			delete(s.episodes, ep.id)
-			if ep.clientKey != "" {
-				delete(s.byKey, ep.clientKey)
+	if s.cfg.EpisodeTTL > 0 {
+		cutoff := now.Add(-s.cfg.EpisodeTTL)
+		for _, ep := range s.episodes {
+			ep.mu.Lock()
+			idle := ep.lastActive.Before(cutoff)
+			ep.mu.Unlock()
+			if idle {
+				expired = append(expired, ep)
+				delete(s.episodes, ep.id)
+				if ep.clientKey != "" {
+					delete(s.byKey, ep.clientKey)
+				}
 			}
 		}
 	}
-	for id, tb := range s.tombstones {
-		if tb.at.Before(cutoff) {
-			delete(s.tombstones, id)
+	if tombTTL > 0 {
+		cutoff := now.Add(-tombTTL)
+		for id, tb := range s.tombstones {
+			if tb.at.Before(cutoff) {
+				delete(s.tombstones, id)
+				if tb.key != "" {
+					delete(s.tombByKey, tb.key)
+				}
+				expiredTombs = append(expiredTombs, id)
+			}
+		}
+		if s.tombOverflow {
+			scanStore = true
+			s.tombOverflow = len(s.tombstones) >= maxTombstones
 		}
 	}
 	s.mu.Unlock()
@@ -478,6 +627,36 @@ func (s *Server) Sweep() int {
 		if s.cfg.Checkpointer != nil {
 			if err := s.cfg.Checkpointer.Delete(ep.id); err != nil {
 				s.m.checkpointErrors.Inc()
+			}
+		}
+	}
+	for _, id := range expiredTombs {
+		s.m.tombstonesEvicted.Inc()
+		if s.cfg.Checkpointer != nil {
+			if err := s.cfg.Checkpointer.DeleteTombstone(id); err != nil {
+				s.m.checkpointErrors.Inc()
+			}
+		}
+	}
+	if scanStore && s.cfg.Checkpointer != nil {
+		// Cache overflow means the store may hold tombstones the in-memory
+		// loop above never saw; expire them straight from the store.
+		cutoffNano := now.Add(-tombTTL).UnixNano()
+		if tombs, _, err := s.cfg.Checkpointer.LoadTombstones(); err == nil {
+			for _, ts := range tombs {
+				if ts.TerminatedAtUnixNano >= cutoffNano {
+					continue
+				}
+				s.mu.Lock()
+				_, cached := s.tombstones[ts.EpisodeID]
+				s.mu.Unlock()
+				if cached {
+					continue
+				}
+				s.m.tombstonesEvicted.Inc()
+				if err := s.cfg.Checkpointer.DeleteTombstone(ts.EpisodeID); err != nil {
+					s.m.checkpointErrors.Inc()
+				}
 			}
 		}
 	}
@@ -603,6 +782,16 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: id})
 			return
 		}
+		if id, ok := s.tombByKey[req.ClientKey]; ok {
+			// The key's episode already terminated. Answering with the original
+			// id (not a fresh episode) routes the client's retried final GET to
+			// the tombstone, so the terminal decision is replayed rather than
+			// recomputed.
+			s.mu.Unlock()
+			s.m.dedupedStarts.Inc()
+			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: id})
+			return
+		}
 	}
 	if len(s.episodes) >= s.cfg.MaxEpisodes {
 		s.mu.Unlock()
@@ -627,8 +816,15 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	if req.ClientKey != "" {
-		// A concurrent duplicate may have won the race while the factory ran.
+		// A concurrent duplicate may have won the race while the factory ran —
+		// or even terminated already, leaving only a tombstone.
 		if existing, ok := s.byKey[req.ClientKey]; ok {
+			s.mu.Unlock()
+			s.m.dedupedStarts.Inc()
+			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: existing})
+			return
+		}
+		if existing, ok := s.tombByKey[req.ClientKey]; ok {
 			s.mu.Unlock()
 			s.m.dedupedStarts.Inc()
 			writeJSON(w, http.StatusOK, StartResponse{EpisodeID: existing})
@@ -693,6 +889,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if ep == nil {
+		if !dead {
+			// The cache may have evicted the tombstone past its cap; the store
+			// is the source of truth.
+			if ts, ok := s.loadStoredTombstone(id); ok {
+				s.mu.Lock()
+				s.insertTombstoneLocked(ts)
+				s.mu.Unlock()
+				dead = true
+			}
+		}
 		if dead {
 			writeJSON(w, http.StatusOK, StatusResponse{EpisodeID: id, Open: false})
 			return
@@ -729,6 +935,16 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if ep == nil {
+		if tb == nil {
+			// The cache may have evicted the tombstone past its cap; fall back
+			// to the durable record before declaring the episode unknown.
+			if ts, ok := s.loadStoredTombstone(id); ok {
+				s.mu.Lock()
+				s.insertTombstoneLocked(ts)
+				tb = s.tombstones[id]
+				s.mu.Unlock()
+			}
+		}
 		if tb != nil {
 			// The terminal decision was already computed; the client's copy
 			// was lost in transit. Re-serve it.
@@ -759,6 +975,7 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 	}
 	ep.lastDecision = &resp
 	ep.lastActive = s.cfg.now()
+	steps := ep.steps
 	var rec *obs.DecisionRecord
 	if s.trace != nil {
 		// Build the record under ep.mu (the stats buffers are reused by the
@@ -793,25 +1010,44 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 
 	if d.Terminate {
 		s.m.terminated.Inc()
+		ts := TombstoneState{
+			EpisodeID:            id,
+			ClientKey:            ep.clientKey,
+			Steps:                steps,
+			Final:                resp,
+			TerminatedAtUnixNano: s.cfg.now().UnixNano(),
+		}
+		// Write-ahead: persist the tombstone BEFORE deleting the episode
+		// record. A crash between the two leaves both in the store; restore
+		// and adoption resolve that in the tombstone's favor. The reverse
+		// order would open a window where the final decision exists nowhere
+		// durable.
+		if s.cfg.Checkpointer != nil {
+			if err := s.cfg.Checkpointer.SaveTombstone(ts); err != nil {
+				s.m.checkpointErrors.Inc()
+			}
+		}
 		s.mu.Lock()
 		delete(s.episodes, id)
 		if ep.clientKey != "" {
 			delete(s.byKey, ep.clientKey)
 		}
-		s.tombstones[id] = &tombstone{final: resp, at: s.cfg.now()}
-		s.trimTombstonesLocked()
+		s.insertTombstoneLocked(ts)
 		s.mu.Unlock()
 		if s.cfg.Checkpointer != nil {
 			if err := s.cfg.Checkpointer.Delete(id); err != nil {
 				s.m.checkpointErrors.Inc()
 			}
 		}
+		s.replicateTombstone(ts)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// trimTombstonesLocked evicts the oldest tombstones past the cap. Caller
-// holds s.mu.
+// trimTombstonesLocked evicts the oldest tombstones past the cap — from
+// memory only; the durable records stay until their TTL, and reads fall back
+// to the store. Setting tombOverflow tells Sweep that store-only tombstones
+// may exist and need a store scan to expire. Caller holds s.mu.
 func (s *Server) trimTombstonesLocked() {
 	for len(s.tombstones) > maxTombstones {
 		var (
@@ -824,7 +1060,11 @@ func (s *Server) trimTombstonesLocked() {
 				oldestID, oldestAt, first = id, tb.at, false
 			}
 		}
+		if tb := s.tombstones[oldestID]; tb != nil && tb.key != "" {
+			delete(s.tombByKey, tb.key)
+		}
 		delete(s.tombstones, oldestID)
+		s.tombOverflow = true
 	}
 }
 
