@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-campaign test-fleet check vet fmt lint fuzz-smoke bench bench-smoke table1 fig5bounds
+.PHONY: build test test-short test-campaign test-fleet test-fsc check vet fmt lint fuzz-smoke bench bench-smoke table1 fig5bounds
 
 build:
 	$(GO) build ./...
@@ -36,18 +36,28 @@ test-fleet:
 	$(GO) test -race -run 'Fleet|Chaos' ./...
 	$(GO) test -race ./internal/fleet/
 
-# Fuzz smoke: a few seconds per fuzz target over the checkpoint trust
-# boundary (EpisodeState JSON decode and log-record framing). Corpus
-# additions land under internal/server/testdata/fuzz/.
+# FSC-tier equality gate under the race detector: compiled-controller
+# campaigns must match the tree's mean cost exactly on EMN and on random
+# models — the fast gate for changes to the FSC compiler or decider.
+test-fsc:
+	$(GO) test -race -run 'FSC' ./internal/controller/ ./internal/sim/
+
+# Fuzz smoke: a few seconds per fuzz target over the trust boundaries —
+# checkpoint EpisodeState JSON decode, log-record framing, and the compiled
+# FSC artifact decoder. Corpus additions land under the packages'
+# testdata/fuzz/ directories.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzEpisodeStateDecode -fuzztime=10s ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzLogRecordDecode -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzFSCDecode -fuzztime=10s ./internal/controller
 
 # The full gate: formatting, vet, the complete test suite (chaos campaign
-# included) under the race detector, and the fuzz smoke.
+# included) under the race detector, the FSC campaign-equality gate, and the
+# fuzz smoke.
 check: fmt
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) test-fsc
 	$(MAKE) fuzz-smoke
 
 # Benchmark smoke: short measurements diffed against the committed baseline.

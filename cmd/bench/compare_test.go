@@ -145,3 +145,25 @@ func TestCompareReportsCampaignAllocSlack(t *testing.T) {
 		t.Errorf("regression values %+v, want 13 -> 15", regs[0])
 	}
 }
+
+func TestCompareReportsCampaignAllocSlackProportional(t *testing.T) {
+	// Unarena'd paths in the hundreds of allocs/episode jitter by a few
+	// allocs from cold-iteration amortization; the slack scales to 1% of
+	// the baseline so they don't flake, while real growth still fails.
+	old := report(map[string]Entry{
+		"campaign": {NsPerOp: 1e6, AllocsPerOp: 28000, Episodes: 64, AllocsPerEp: 437},
+	})
+	within := report(map[string]Entry{
+		"campaign": {NsPerOp: 1e6, AllocsPerOp: 28200, Episodes: 64, AllocsPerEp: 441},
+	})
+	if regs := compareReports(old, within, 0.30); len(regs) != 0 {
+		t.Errorf("jitter within 1%% flagged: %+v", regs)
+	}
+	leak := report(map[string]Entry{
+		"campaign": {NsPerOp: 1e6, AllocsPerOp: 28500, Episodes: 64, AllocsPerEp: 443},
+	})
+	regs := compareReports(old, leak, 0.30)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_episode" {
+		t.Fatalf("growth beyond the proportional slack not flagged: %+v", regs)
+	}
+}

@@ -18,6 +18,11 @@
 //     preallocated output slice (the batched engine's leaf evaluation)
 //   - batch_decide — controller.Bounded.DecideBatch over the same batch with
 //     reused decision buffers (the full batched Max-Avg expansion)
+//   - fsc_decide — controller.FSCDecider.DecideBatch over a batch of
+//     compiled-table beliefs (the table-lookup fast path; compare per
+//     decision against batch_decide for the compilation speedup)
+//   - campaign_fsc — the batched campaign decided by the tiered FSC decider
+//     (table hits plus tree fallbacks), same figures as campaign_batched
 //   - campaign_batched — the campaign engine in batched stepping mode
 //     (CampaignOptions.BatchSize), same figures as campaign_sequential
 //   - campaign_seq_w{1,2,4,8} / campaign_batched_w{1,2,4,8} — the
@@ -143,11 +148,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Bench))
-		names := []string{"campaign_sequential", "campaign_batched", "campaign_parallel"}
+		names := []string{"campaign_sequential", "campaign_batched", "campaign_fsc", "campaign_parallel"}
 		for _, w := range scalingWorkers {
 			names = append(names, fmt.Sprintf("campaign_seq_w%d", w), fmt.Sprintf("campaign_batched_w%d", w))
 		}
-		names = append(names, "belief_update", "gs_sweep", "ra_solve", "set_value_batch", "batch_decide")
+		names = append(names, "belief_update", "gs_sweep", "ra_solve", "set_value_batch", "batch_decide", "fsc_decide")
 		for _, name := range names {
 			e, ok := rep.Bench[name]
 			if !ok {
@@ -240,10 +245,90 @@ func run(episodes, workers int) (*Report, error) {
 	if err := benchBatch(rep, prep); err != nil {
 		return nil, err
 	}
+	if err := benchFSC(rep, compiled, prep, episodes); err != nil {
+		return nil, err
+	}
 	if err := benchCampaigns(rep, compiled, prep, episodes, workers); err != nil {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// benchFSC measures the compiled finite-state-controller fast path: batched
+// decisions answered from the table (fsc_decide — the per-decision number to
+// hold against batch_decide), and a full batched campaign decided by the
+// tiered FSC decider (campaign_fsc). The table is compiled once outside the
+// timed regions with a permissive gap threshold, so the campaign splits
+// decisions across both tiers the way a deployed daemon would.
+func benchFSC(rep *Report, compiled *arch.Compiled, prep *core.Prepared, episodes int) error {
+	fsc, err := prep.CompileFSC(core.FSCConfig{Depth: 1})
+	if err != nil {
+		return err
+	}
+	dec, err := prep.NewFSCDecider(fsc, core.ControllerConfig{Depth: 1}, fsc.MaxGap()+1)
+	if err != nil {
+		return err
+	}
+
+	// The decision batch cycles through compiled-node beliefs: every decision
+	// is a table hit, which is exactly the fast path's cost.
+	const batch = 64
+	beliefs := make([]pomdp.Belief, batch)
+	for i := range beliefs {
+		beliefs[i] = fsc.Node(i % fsc.NumNodes()).Belief
+	}
+	decisions := make([]controller.Decision, batch)
+	if err := dec.DecideBatch(beliefs, decisions); err != nil {
+		return err
+	}
+	rep.Bench["fsc_decide"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dec.DecideBatch(beliefs, decisions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	runner, err := sim.NewRunner(compiled.Recovery, 20000)
+	if err != nil {
+		return err
+	}
+	initial, err := prep.InitialBelief()
+	if err != nil {
+		return err
+	}
+	faults := compiled.ZombieStates
+	rep.Bench["campaign_fsc"] = func() Entry {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			factory := func() (controller.Controller, pomdp.Belief, error) {
+				return dec, initial, nil
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(uint64(i)), sim.CampaignOptions{
+					Workers:       1,
+					WorkerFactory: factory,
+					BatchSize:     16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Episodes != episodes {
+					b.Fatalf("campaign completed %d/%d episodes", res.Episodes, episodes)
+				}
+			}
+		})
+		e := entryOf(r)
+		e.Workers = 1
+		e.Episodes = episodes
+		e.NsPerEpisode = e.NsPerOp / float64(episodes)
+		e.EpisodesPerSec = 1e9 / e.NsPerEpisode
+		e.AllocsPerEp = e.AllocsPerOp / int64(episodes)
+		return e
+	}()
+	return nil
 }
 
 // benchBatch measures the batched leaf evaluation (Set.ValueBatch over the

@@ -66,6 +66,8 @@ func run(ctx context.Context, args []string) error {
 		improve     = fs.Bool("improve-online", true, "keep improving the bound during real recovery")
 		seed        = fs.Uint64("seed", 1, "bootstrap RNG seed")
 		boundsPath  = fs.String("bounds", "", "load the bound set from this JSON file if it exists, and save it back after bootstrap")
+		fscPath     = fs.String("fsc", "", "load a compiled finite-state controller (see cmd/fsccompile) and serve table hits from it, falling back to the tree")
+		fscGap      = fs.Float64("fsc-gap-threshold", 1e-6, "serve an FSC node only when its compile-time bound gap is at most this; larger nodes fall back to the tree")
 		maxEpisodes = fs.Int("max-episodes", 0, "cap on concurrently open episodes (0 = default)")
 
 		checkpointDir   = fs.String("checkpoint-dir", "", "persist per-episode checkpoints here; a restarted daemon resumes all open episodes")
@@ -139,6 +141,44 @@ func run(ctx context.Context, args []string) error {
 			}
 			log.Printf("saved bound set to %s", *boundsPath)
 		}
+	}
+
+	// The compiled FSC fast path: one shared immutable table, per-episode
+	// FSCDecider wrappers around the usual tree controllers. Its hit/fallback
+	// counters are scraped straight off the shared table via the metrics
+	// registry, so serving pays nothing beyond the atomic increments the
+	// table keeps anyway.
+	var fsc *controller.FSC
+	metrics := obs.NewRegistry()
+	if *fscPath != "" {
+		f, err := os.Open(*fscPath)
+		if err != nil {
+			return fmt.Errorf("open fsc: %w", err)
+		}
+		fsc, err = controller.DecodeFSC(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load fsc %s: %w", *fscPath, err)
+		}
+		if fsc.NumStates() != prep.Model.NumStates() ||
+			fsc.NumActions() != prep.Model.NumActions() ||
+			fsc.NumObservations() != prep.Model.NumObservations() {
+			return fmt.Errorf("fsc %s compiled for a %d-state/%d-action/%d-observation model; loaded model has %d/%d/%d",
+				*fscPath, fsc.NumStates(), fsc.NumActions(), fsc.NumObservations(),
+				prep.Model.NumStates(), prep.Model.NumActions(), prep.Model.NumObservations())
+		}
+		log.Printf("loaded fsc from %s: %d nodes, %d edges, max gap %.3g (serving gap <= %.3g)",
+			*fscPath, fsc.NumNodes(), fsc.NumEdges(), fsc.MaxGap(), *fscGap)
+		t := fsc
+		metrics.CounterFunc("recoverd_fsc_hits_total",
+			"Decisions served from the compiled FSC table.",
+			func() float64 { return float64(t.Hits()) })
+		metrics.CounterFunc("recoverd_fsc_fallbacks_total",
+			"Decisions that fell back to the Max-Avg tree.",
+			func() float64 { return float64(t.Fallbacks()) })
+		metrics.GaugeFunc("recoverd_fsc_nodes",
+			"Nodes in the loaded compiled FSC.",
+			func() float64 { return float64(t.NumNodes()) })
 	}
 
 	if *expvarOn && *pprofAddr == "" {
@@ -216,8 +256,16 @@ func run(ctx context.Context, args []string) error {
 		ClientRetryBudget: *retryBudget,
 		MaxBodyBytes:      *maxBodyBytes,
 		DecisionTrace:     decisionTrace,
+		Metrics:           metrics,
 		NewController: func() (controller.Controller, pomdp.Belief, error) {
-			ctrl, err := prep.NewController(core.ControllerConfig{Depth: *depth, ImproveOnline: *improve, CollectStats: collectStats})
+			cfg := core.ControllerConfig{Depth: *depth, ImproveOnline: *improve, CollectStats: collectStats}
+			var ctrl controller.Controller
+			var err error
+			if fsc != nil {
+				ctrl, err = prep.NewFSCDecider(fsc, cfg, *fscGap)
+			} else {
+				ctrl, err = prep.NewController(cfg)
+			}
 			if err != nil {
 				return nil, nil, err
 			}
@@ -226,8 +274,12 @@ func run(ctx context.Context, args []string) error {
 		},
 		// Batch deciders are pooled across concurrent requests and share the
 		// bound set, so they are always built with online improvement off —
-		// concurrent set mutation from pooled deciders would race.
+		// concurrent set mutation from pooled deciders would race. (The FSC
+		// table itself is immutable and safe to share.)
 		NewBatchDecider: func() (controller.BatchDecider, error) {
+			if fsc != nil {
+				return prep.NewFSCDecider(fsc, core.ControllerConfig{Depth: *depth}, *fscGap)
+			}
 			return prep.NewController(core.ControllerConfig{Depth: *depth})
 		},
 	})

@@ -209,6 +209,7 @@ func (b *Bounded) statsFor(pi pomdp.Belief, d Decision, q []float64) DecisionSta
 		BeliefEntropy: pi.Entropy(),
 		SetSize:       b.set.Size(),
 		SetEvictions:  b.set.Evictions(),
+		Tier:          TierTree,
 	}
 	if d.Terminate && b.cfg.TerminateAction < 0 {
 		// Certainty termination has no model action behind it.
@@ -231,17 +232,25 @@ func (b *Bounded) DecisionStats() DecisionStats { return b.lastStats }
 func (b *Bounded) BatchDecisionStats() []DecisionStats { return b.batchStats }
 
 // toDecision converts a root backup into a Decision, applying the a_T
-// tie-break: Property 1(a) demands no free actions outside s_T, but real
+// tie-break shared with the FSC compiler.
+func (b *Bounded) toDecision(res *pomdp.BackupResult) Decision {
+	return decisionFromBackup(res, b.cfg.TerminateAction)
+}
+
+// decisionFromBackup converts a root backup into a Decision, applying the
+// a_T tie-break: Property 1(a) demands no free actions outside s_T, but real
 // models often have a zero-cost passive action at the Sφ vertex (monitoring
 // a healthy system drops no requests). At that vertex Q(a_T) ties the
 // maximum and a plain argmax can loop on the free action forever;
 // terminating on a tie costs nothing by the controller's own estimate and
-// restores the termination guarantee.
-func (b *Bounded) toDecision(res *pomdp.BackupResult) Decision {
+// restores the termination guarantee. It is shared by the online controller
+// and the FSC compiler so compiled nodes replay exactly the decision the
+// tree would make.
+func decisionFromBackup(res *pomdp.BackupResult, terminateAction int) Decision {
 	d := Decision{Action: res.Action, Value: res.Value}
-	if b.cfg.TerminateAction >= 0 &&
-		(res.Action == b.cfg.TerminateAction || res.QValues[b.cfg.TerminateAction] >= res.Value-1e-9) {
-		d.Action = b.cfg.TerminateAction
+	if terminateAction >= 0 &&
+		(res.Action == terminateAction || res.QValues[terminateAction] >= res.Value-1e-9) {
+		d.Action = terminateAction
 		d.Terminate = true
 	}
 	return d

@@ -1,0 +1,511 @@
+package controller
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"bpomdp/internal/bounds"
+	"bpomdp/internal/models"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+)
+
+// compileFixtureFSC compiles the two-server termination fixture's FSC from
+// the uniform-over-original-states root, against the fixture's frozen
+// RA-Bound set.
+func compileFixtureFSC(t *testing.T, f *fixture, cfg FSCCompileConfig) *FSC {
+	t.Helper()
+	n := f.term.NumStates()
+	orig := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if s != f.idx.State {
+			orig = append(orig, s)
+		}
+	}
+	root, err := pomdp.UniformOver(n, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TerminateAction == 0 {
+		cfg.TerminateAction = f.idx.Action
+	}
+	cfg.InitialObservationAction = f.ts.ActionObserve
+	fsc, err := CompileFSC(f.term, f.set, []pomdp.Belief{root}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsc
+}
+
+// TestCompileFSCNodeParity is the cornerstone exactness test: every compiled
+// node's stored decision and bound gap must be bit-identical to what a
+// Bounded controller over the same frozen set produces at the node's belief.
+func TestCompileFSCNodeParity(t *testing.T) {
+	f := newFixture(t)
+	fsc := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	if fsc.NumNodes() < 2 {
+		t.Fatalf("compiled only %d nodes; expansion did not reach past the root", fsc.NumNodes())
+	}
+	ctrl, err := NewBounded(f.term, f.set, BoundedConfig{
+		Depth: 1, TerminateAction: f.idx.Action, NullStates: []int{0}, CollectStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fsc.NumNodes(); i++ {
+		n := fsc.Node(i)
+		d, err := ctrl.decideAt(n.Belief)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != n.decision() {
+			t.Errorf("node %d: compiled decision %+v, tree says %+v", i, n.decision(), d)
+		}
+		st := ctrl.DecisionStats()
+		if st.BoundGap != n.Gap {
+			t.Errorf("node %d: compiled gap %v, tree observed %v", i, n.Gap, st.BoundGap)
+		}
+	}
+}
+
+// TestCompileFSCNotificationCertainty compiles in the recovery-notification
+// regime and pins that certainty nodes replay the online controller's
+// short-circuit: Terminate with zero value, and parity with decideAt at
+// every node.
+func TestCompileFSCNotificationCertainty(t *testing.T) {
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := pomdp.AbsorbNullStates(ts.Model, ts.NullStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := bounds.RASet(mod, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsc, err := CompileFSC(mod, set, []pomdp.Belief{pomdp.UniformBelief(mod.NumStates())}, FSCCompileConfig{
+		Depth: 1, TerminateAction: -1, NullStates: ts.NullStates,
+		InitialObservationAction: ts.ActionObserve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewBounded(mod, set, BoundedConfig{Depth: 1, TerminateAction: -1, NullStates: ts.NullStates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCertainty := false
+	for i := 0; i < fsc.NumNodes(); i++ {
+		n := fsc.Node(i)
+		d, err := ctrl.decideAt(n.Belief)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != n.decision() {
+			t.Errorf("node %d: compiled decision %+v, tree says %+v", i, n.decision(), d)
+		}
+		if n.Terminate {
+			sawCertainty = true
+			if n.Value != 0 {
+				t.Errorf("node %d: certainty termination with value %v, want 0", i, n.Value)
+			}
+			if n.Edges != nil {
+				t.Errorf("node %d: certainty termination keeps %d edges", i, len(n.Edges))
+			}
+		}
+	}
+	if !sawCertainty {
+		t.Error("perfect-coverage compile reached no certainty termination node")
+	}
+}
+
+// TestFSCDeciderEpisodeParity drives the tiered decider and a twin tree
+// controller through identical episodes (same RNG streams) and requires
+// bit-identical decisions throughout, at the strictest and the loosest gap
+// thresholds. The set is frozen (no online improvement), so the table is an
+// amortization of the tree, never an approximation.
+func TestFSCDeciderEpisodeParity(t *testing.T) {
+	f := newFixture(t)
+	fsc := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	newTree := func() *Bounded {
+		ctrl, err := NewBounded(f.term, f.set, BoundedConfig{
+			Depth: 1, TerminateAction: f.idx.Action, NullStates: []int{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl
+	}
+	n := f.term.NumStates()
+	orig := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if s != f.idx.State {
+			orig = append(orig, s)
+		}
+	}
+	initial, err := pomdp.UniformOver(n, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threshold := range []float64{0, fsc.MaxGap() + 1} {
+		dec, err := NewFSCDecider(fsc, newTree(), FSCDeciderConfig{GapThreshold: threshold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := newTree()
+		for trial := 0; trial < 30; trial++ {
+			seed := uint64(1000 + trial)
+			faultState := 1 + trial%2
+			recA, stepsA := episode(t, f.base, dec, initial, faultState, rng.New(seed), 200)
+			recB, stepsB := episode(t, f.base, tree, initial, faultState, rng.New(seed), 200)
+			if recA != recB || stepsA != stepsB {
+				t.Errorf("threshold %v trial %d: fsc episode (rec=%v steps=%d) diverges from tree (rec=%v steps=%d)",
+					threshold, trial, recA, stepsA, recB, stepsB)
+			}
+		}
+	}
+	if fsc.Hits() == 0 {
+		t.Error("no decision was ever served from the table")
+	}
+	if fsc.Fallbacks() == 0 {
+		t.Error("no decision ever fell back (threshold 0 should force fallbacks)")
+	}
+}
+
+// TestFSCDeciderStatsTiers pins the tier attribution and the compile-time
+// bound-gap telemetry of both serving tiers.
+func TestFSCDeciderStatsTiers(t *testing.T) {
+	f := newFixture(t)
+	fsc := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	newTree := func() *Bounded {
+		ctrl, err := NewBounded(f.term, f.set, BoundedConfig{
+			Depth: 1, TerminateAction: f.idx.Action, NullStates: []int{0}, CollectStats: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl
+	}
+	root := fsc.Node(0)
+
+	// Loose threshold: the root decision is a table hit tagged TierFSC, with
+	// the compile-time gap.
+	dec, err := NewFSCDecider(fsc, newTree(), FSCDeciderConfig{GapThreshold: fsc.MaxGap() + 1, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Reset(root.Belief); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	st := dec.DecisionStats()
+	if st.Tier != TierFSC {
+		t.Errorf("table hit reported tier %q, want %q", st.Tier, TierFSC)
+	}
+	if st.BoundGap != root.Gap || st.Value != root.Value || st.TreeNodes != 0 {
+		t.Errorf("table-hit stats %+v do not replay the compiled node %+v", st, root)
+	}
+
+	// Strict threshold on a positive-gap node: fallback, tagged TierTree,
+	// with the tree's own live telemetry — the satellite-6 regression (the
+	// fallback path must never drop tier attribution).
+	wide := -1
+	for i := 0; i < fsc.NumNodes(); i++ {
+		if n := fsc.Node(i); !n.Terminate && n.Gap > 0 {
+			wide = i
+			break
+		}
+	}
+	if wide < 0 {
+		t.Fatal("no positive-gap node to force a fallback with")
+	}
+	dec2, err := NewFSCDecider(fsc, newTree(), FSCDeciderConfig{GapThreshold: 0, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec2.Reset(fsc.Node(wide).Belief); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec2.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	st = dec2.DecisionStats()
+	if st.Tier != TierTree {
+		t.Errorf("fallback decision reported tier %q, want %q", st.Tier, TierTree)
+	}
+	if st.TreeNodes == 0 {
+		t.Error("fallback stats report zero expansion work")
+	}
+}
+
+// TestFSCDecideBatchMatchesTree: at any threshold over a frozen set, the
+// tiered batch decider must reproduce the plain tree's DecideBatch
+// bit-for-bit on a mix of compiled and off-graph beliefs, and must actually
+// split the batch across both tiers.
+func TestFSCDecideBatchMatchesTree(t *testing.T) {
+	f := newFixture(t)
+	fsc := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	newTree := func(stats bool) *Bounded {
+		ctrl, err := NewBounded(f.term, f.set, BoundedConfig{
+			Depth: 1, TerminateAction: f.idx.Action, NullStates: []int{0}, CollectStats: stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl
+	}
+	pis := batchBeliefs(rng.New(71), 9, f.term.NumStates())
+	for i := 0; i < fsc.NumNodes() && i < 8; i++ {
+		pis = append(pis, fsc.Node(i).Belief)
+	}
+	dec, err := NewFSCDecider(fsc, newTree(true), FSCDeciderConfig{GapThreshold: fsc.MaxGap() + 1, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, f0 := fsc.Hits(), fsc.Fallbacks()
+	got := make([]Decision, len(pis))
+	if err := dec.DecideBatch(pis, got); err != nil {
+		t.Fatal(err)
+	}
+	if fsc.Hits() == h0 {
+		t.Error("batch served no table hits despite compiled beliefs in it")
+	}
+	if fsc.Fallbacks() == f0 {
+		t.Error("batch fell back for nothing despite off-graph beliefs in it")
+	}
+	want := make([]Decision, len(pis))
+	if err := newTree(false).DecideBatch(pis, want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("tiered DecideBatch diverges from tree:\nwant: %+v\ngot:  %+v", want, got)
+	}
+	sts := dec.BatchDecisionStats()
+	if len(sts) != len(pis) {
+		t.Fatalf("batch stats length %d, want %d", len(sts), len(pis))
+	}
+	for j, st := range sts {
+		if st.Tier != TierFSC && st.Tier != TierTree {
+			t.Errorf("belief %d: batch stats carry tier %q", j, st.Tier)
+		}
+	}
+}
+
+// TestFSCRoundTrip pins the artifact format: Encode → Decode must reproduce
+// every node bit-for-bit, and a decider over the decoded table must serve
+// the same decisions.
+func TestFSCRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	fsc := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	var buf bytes.Buffer
+	if err := fsc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFSC(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates() != fsc.NumStates() || got.NumActions() != fsc.NumActions() ||
+		got.NumObservations() != fsc.NumObservations() || got.Depth() != fsc.Depth() ||
+		got.Beta() != fsc.Beta() || got.TerminateAction() != fsc.TerminateAction() {
+		t.Fatalf("decoded dimensions diverge: %+v vs %+v", got, fsc)
+	}
+	if got.NumNodes() != fsc.NumNodes() {
+		t.Fatalf("decoded %d nodes, want %d", got.NumNodes(), fsc.NumNodes())
+	}
+	for i := 0; i < fsc.NumNodes(); i++ {
+		if !reflect.DeepEqual(got.Node(i), fsc.Node(i)) {
+			t.Errorf("node %d diverges after round trip:\nwant: %+v\ngot:  %+v", i, fsc.Node(i), got.Node(i))
+		}
+	}
+}
+
+// TestFSCDecodeRejectsCorruption: torn writes, bit flips, wrong schema, and
+// trailing garbage must all be hard errors — a recovery controller must
+// never serve decisions from a damaged table.
+func TestFSCDecodeRejectsCorruption(t *testing.T) {
+	f := newFixture(t)
+	fsc := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	var buf bytes.Buffer
+	if err := fsc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{1, 7, len(good) / 2, len(good) - 1} {
+			if _, err := DecodeFSC(bytes.NewReader(good[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		for _, pos := range []int{9, len(good) / 3, len(good) - 3} {
+			bad := append([]byte(nil), good...)
+			bad[pos] ^= 0x40
+			if _, err := DecodeFSC(bytes.NewReader(bad)); err == nil {
+				t.Errorf("bit flip at %d accepted", pos)
+			}
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		bad := append(append([]byte(nil), good...), good[:12]...)
+		if _, err := DecodeFSC(bytes.NewReader(bad)); err == nil {
+			t.Error("trailing data accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeFSC(bytes.NewReader(nil)); err == nil {
+			t.Error("empty input accepted")
+		}
+	})
+}
+
+func TestNewFSCDeciderValidation(t *testing.T) {
+	f := newFixture(t)
+	fsc := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	tree := func(stats bool) *Bounded {
+		ctrl, err := NewBounded(f.term, f.set, BoundedConfig{
+			Depth: 1, TerminateAction: f.idx.Action, NullStates: []int{0}, CollectStats: stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl
+	}
+	if _, err := NewFSCDecider(nil, tree(false), FSCDeciderConfig{}); err == nil {
+		t.Error("nil FSC accepted")
+	}
+	if _, err := NewFSCDecider(fsc, nil, FSCDeciderConfig{}); err == nil {
+		t.Error("nil fallback accepted")
+	}
+	if _, err := NewFSCDecider(fsc, tree(false), FSCDeciderConfig{GapThreshold: -1}); err == nil {
+		t.Error("negative gap threshold accepted")
+	}
+	if _, err := NewFSCDecider(fsc, tree(false), FSCDeciderConfig{GapThreshold: math.NaN()}); err == nil {
+		t.Error("NaN gap threshold accepted")
+	}
+	if _, err := NewFSCDecider(fsc, tree(false), FSCDeciderConfig{CollectStats: true}); err == nil {
+		t.Error("stats-collecting decider over a bare fallback accepted")
+	}
+	// A fallback over a different model (the 3-state absorbed base instead of
+	// the 4-state termination transform) must be rejected on dimensions.
+	mod, err := pomdp.AbsorbNullStates(f.base, f.ts.NullStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSet, err := bounds.RASet(mod, bounds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCtrl, err := NewBounded(mod, baseSet, BoundedConfig{Depth: 1, TerminateAction: -1, NullStates: f.ts.NullStates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFSCDecider(fsc, baseCtrl, FSCDeciderConfig{}); err == nil {
+		t.Error("dimension-mismatched fallback accepted")
+	}
+}
+
+func TestCompileFSCValidation(t *testing.T) {
+	f := newFixture(t)
+	uniform := pomdp.UniformBelief(f.term.NumStates())
+	if _, err := CompileFSC(f.term, nil, []pomdp.Belief{uniform}, FSCCompileConfig{TerminateAction: f.idx.Action}); err == nil {
+		t.Error("nil set accepted")
+	}
+	if _, err := CompileFSC(f.term, f.set, nil, FSCCompileConfig{TerminateAction: f.idx.Action}); err == nil {
+		t.Error("no roots accepted")
+	}
+	if _, err := CompileFSC(f.term, f.set, []pomdp.Belief{{1, 0}}, FSCCompileConfig{TerminateAction: f.idx.Action}); err == nil {
+		t.Error("short root belief accepted")
+	}
+	if _, err := CompileFSC(f.term, f.set, []pomdp.Belief{uniform}, FSCCompileConfig{
+		TerminateAction: f.idx.Action, InitialObservationAction: -1,
+	}); err == nil {
+		t.Error("out-of-range initial observation action accepted")
+	}
+}
+
+// TestCompileFSCMaxNodes: the node budget must cap the table, keep edges to
+// beyond-budget successors missing (−1), and leave every stored edge target
+// in range.
+func TestCompileFSCMaxNodes(t *testing.T) {
+	f := newFixture(t)
+	full := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1})
+	capped := compileFixtureFSC(t, f, FSCCompileConfig{Depth: 1, MaxNodes: 3})
+	if capped.NumNodes() != 3 {
+		t.Fatalf("capped compile produced %d nodes, want 3", capped.NumNodes())
+	}
+	if full.NumNodes() <= 3 {
+		t.Fatalf("fixture graph too small (%d nodes) to exercise the budget", full.NumNodes())
+	}
+	if capped.MissingEdges() == 0 {
+		t.Error("capped table has no missing edges")
+	}
+	for i := 0; i < capped.NumNodes(); i++ {
+		for o, e := range capped.Node(i).Edges {
+			if e >= int32(capped.NumNodes()) {
+				t.Errorf("node %d obs %d: edge target %d out of range", i, o, e)
+			}
+		}
+	}
+}
+
+// FuzzFSCDecode: arbitrary bytes must never panic the decoder, and any
+// artifact it accepts must survive a re-encode/re-decode round trip.
+func FuzzFSCDecode(fz *testing.F) {
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		fz.Fatal(err)
+	}
+	term, idx, err := pomdp.WithTermination(ts.Model, pomdp.TerminationConfig{
+		NullStates:           ts.NullStates,
+		OperatorResponseTime: 10,
+		RateReward:           ts.RateRewards,
+	})
+	if err != nil {
+		fz.Fatal(err)
+	}
+	set, err := bounds.RASet(term, bounds.Options{})
+	if err != nil {
+		fz.Fatal(err)
+	}
+	fsc, err := CompileFSC(term, set, []pomdp.Belief{pomdp.UniformBelief(term.NumStates())}, FSCCompileConfig{
+		Depth: 1, TerminateAction: idx.Action, InitialObservationAction: ts.ActionObserve,
+	})
+	if err != nil {
+		fz.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fsc.Encode(&buf); err != nil {
+		fz.Fatal(err)
+	}
+	good := buf.Bytes()
+	fz.Add(good)
+	fz.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x10
+	fz.Add(flipped)
+	fz.Add([]byte{})
+	fz.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+
+	fz.Fuzz(func(t *testing.T, data []byte) {
+		f, err := DecodeFSC(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := f.Encode(&out); err != nil {
+			t.Fatalf("accepted artifact fails to re-encode: %v", err)
+		}
+		if _, err := DecodeFSC(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-encoded artifact rejected: %v", err)
+		}
+	})
+}

@@ -1,5 +1,16 @@
 package controller
 
+// Decider tiers, recorded in DecisionStats.Tier and carried through
+// decision traces so every record attributes the serving tier.
+const (
+	// TierTree marks a decision produced by the Max-Avg tree expansion
+	// (Bounded), whether invoked directly or as an FSC fallback.
+	TierTree = "tree"
+	// TierFSC marks a decision served from a compiled finite-state
+	// controller node table without expanding the tree.
+	TierFSC = "fsc"
+)
+
 // EngineCounters are the Engine's monotone work counters. The counters are
 // plain (non-atomic) fields bumped unconditionally on the expansion paths —
 // an increment per Backup is noise next to the backup itself — and are read
@@ -47,6 +58,12 @@ type DecisionStats struct {
 	// SetSize and SetEvictions snapshot the bound set at decision time.
 	SetSize      int
 	SetEvictions uint64
+
+	// Tier identifies which decider tier served the decision (TierTree or
+	// TierFSC). Every stats-producing path sets it, so trace records never
+	// silently drop tier attribution — in particular the FSC fallback path
+	// reports TierTree with the tree's own bound gap.
+	Tier string
 }
 
 // StatsSource is implemented by controllers that can explain their

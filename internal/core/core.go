@@ -334,6 +334,52 @@ func (p *Prepared) NewController(cfg ControllerConfig) (*controller.Bounded, err
 	})
 }
 
+// FSCConfig trims the FSC-compiler knobs exposed at this level.
+type FSCConfig struct {
+	// Depth is the Max-Avg expansion depth decisions are compiled with
+	// (default 1). It must match the fallback controller's depth for exact
+	// decision parity.
+	Depth int
+	// MaxNodes caps the compiled table; zero means the compiler default.
+	MaxNodes int
+	// Improve runs an incremental bound update at every compiled belief
+	// (mutates the prepared set; see controller.FSCCompileConfig.Improve).
+	Improve bool
+}
+
+// CompileFSC compiles a finite-state controller over the prepared model
+// from the episode initial belief, against the current (typically
+// bootstrapped) bound set.
+func (p *Prepared) CompileFSC(cfg FSCConfig) (*controller.FSC, error) {
+	initial, err := p.InitialBelief()
+	if err != nil {
+		return nil, err
+	}
+	return controller.CompileFSC(p.Model, p.Set, []pomdp.Belief{initial}, controller.FSCCompileConfig{
+		Depth:                    cfg.Depth,
+		Beta:                     p.opts.Bounds.Beta,
+		TerminateAction:          p.Terminate.Action,
+		NullStates:               p.Source.NullStates,
+		InitialObservationAction: p.Source.MonitorAction,
+		MaxNodes:                 cfg.MaxNodes,
+		Improve:                  cfg.Improve,
+	})
+}
+
+// NewFSCDecider builds the tiered FSC-then-tree decider: table lookups for
+// beliefs the compiled FSC covers within gapThreshold, a bounded controller
+// built from cfg for everything else.
+func (p *Prepared) NewFSCDecider(fsc *controller.FSC, cfg ControllerConfig, gapThreshold float64) (*controller.FSCDecider, error) {
+	fallback, err := p.NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return controller.NewFSCDecider(fsc, fallback, controller.FSCDeciderConfig{
+		GapThreshold: gapThreshold,
+		CollectStats: cfg.CollectStats,
+	})
+}
+
 // InitialBelief constructs the episode-start belief the paper's controller
 // uses: all faults (and the null state) equally likely over the original
 // state space, with no mass on s_T.

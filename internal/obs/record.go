@@ -60,6 +60,12 @@ type DecisionRecord struct {
 	// SetSize and SetEvictions snapshot the bound set at decision time.
 	SetSize      int    `json:"setSize,omitempty"`
 	SetEvictions uint64 `json:"setEvictions,omitempty"`
+
+	// Tier identifies which serving tier produced the decision
+	// (controller.TierFSC for a compiled table hit, controller.TierTree for a
+	// Max-Avg expansion — including FSC fallbacks). Empty when the deciding
+	// controller predates tier attribution.
+	Tier string `json:"tier,omitempty"`
 }
 
 // TraceWriter writes DecisionRecords as JSONL. It serializes writes with a

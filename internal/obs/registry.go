@@ -119,6 +119,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	r.register(&gaugeFunc{name: name, helpText: help, labels: labels, fn: fn}, labels)
 }
 
+// CounterFunc registers a counter whose value is read by fn at scrape time —
+// for monotone counts that already live elsewhere as atomics (e.g. the
+// shared FSC table's hit counters), so the hot path does not pay a second
+// increment just to be scrapable. fn must be monotonically non-decreasing
+// and safe to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&counterFunc{name: name, helpText: help, labels: labels, fn: fn}, labels)
+}
+
 // Histogram registers (or returns the existing) fixed-bucket histogram. The
 // bounds must be strictly increasing; an implicit +Inf bucket is appended.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
@@ -181,6 +190,8 @@ func (r *Registry) Gather() map[string]float64 {
 		case *Gauge:
 			out[key(v.name, v.labels)] = v.Value()
 		case *gaugeFunc:
+			out[key(v.name, v.labels)] = v.fn()
+		case *counterFunc:
 			out[key(v.name, v.labels)] = v.fn()
 		case *Histogram:
 			count, sum := v.Snapshot()
@@ -264,6 +275,23 @@ func (g *gaugeFunc) kind() string   { return "gauge" }
 func (g *gaugeFunc) help() string   { return g.helpText }
 func (g *gaugeFunc) render(w io.Writer) error {
 	_, err := fmt.Fprintf(w, "%s %s\n", key(g.name, g.labels), formatFloat(g.fn()))
+	return err
+}
+
+// counterFunc is a counter read from an external monotone source at scrape
+// time.
+type counterFunc struct {
+	name     string
+	helpText string
+	labels   []Label
+	fn       func() float64
+}
+
+func (c *counterFunc) family() string { return c.name }
+func (c *counterFunc) kind() string   { return "counter" }
+func (c *counterFunc) help() string   { return c.helpText }
+func (c *counterFunc) render(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", key(c.name, c.labels), formatFloat(c.fn()))
 	return err
 }
 

@@ -10,8 +10,8 @@ package rng
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand/v2"
+	"strconv"
 )
 
 // Stream is a deterministic PRNG stream. Create the root with New and derive
@@ -19,16 +19,34 @@ import (
 // use; split per goroutine instead.
 type Stream struct {
 	r    *rand.Rand
+	src  *rand.PCG
 	seed uint64
-	path string
+	path []byte
+}
+
+// FNV-64a parameters; hashing is done inline over the path buffer so child
+// derivation needs no hash-state or string allocations.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a hashes b with FNV-64a, matching hash/fnv over the same bytes.
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
 }
 
 // New returns the root stream for the given seed.
 func New(seed uint64) *Stream {
+	src := rand.NewPCG(seed, 0x9e3779b97f4a7c15)
 	return &Stream{
-		r:    rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		r:    rand.New(src),
+		src:  src,
 		seed: seed,
-		path: "",
 	}
 }
 
@@ -36,24 +54,48 @@ func New(seed uint64) *Stream {
 // is pure: the same (seed, path) always yields the same stream, regardless
 // of how much randomness has been consumed from the parent.
 func (s *Stream) Split(label string) *Stream {
-	child := s.path + "/" + label
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(child))
-	return &Stream{
-		r:    rand.New(rand.NewPCG(s.seed, h.Sum64())),
-		seed: s.seed,
-		path: child,
-	}
+	child := &Stream{seed: s.seed}
+	child.path = append(append(append(child.path, s.path...), '/'), label...)
+	child.src = rand.NewPCG(s.seed, fnv64a(child.path))
+	child.r = rand.New(child.src)
+	return child
 }
 
 // SplitN derives a child stream identified by an integer index, convenient
 // for per-episode streams.
 func (s *Stream) SplitN(label string, n int) *Stream {
-	return s.Split(fmt.Sprintf("%s[%d]", label, n))
+	return s.splitNInto(nil, label, n)
+}
+
+// SplitNInto is SplitN reusing dst: the destination stream is reseeded in
+// place to the exact stream SplitN(label, n) would return — same derivation
+// hash, same generator state — without allocating once dst's path buffer has
+// warmed up. A nil dst allocates a fresh stream, which is exactly SplitN.
+// dst must not be s itself and must not be in use elsewhere.
+func (s *Stream) SplitNInto(dst *Stream, label string, n int) *Stream {
+	return s.splitNInto(dst, label, n)
+}
+
+func (s *Stream) splitNInto(dst *Stream, label string, n int) *Stream {
+	if dst == nil {
+		dst = &Stream{}
+		dst.src = rand.NewPCG(0, 0)
+		dst.r = rand.New(dst.src)
+	}
+	dst.seed = s.seed
+	p := append(dst.path[:0], s.path...)
+	p = append(p, '/')
+	p = append(p, label...)
+	p = append(p, '[')
+	p = strconv.AppendInt(p, int64(n), 10)
+	p = append(p, ']')
+	dst.path = p
+	dst.src.Seed(s.seed, fnv64a(p))
+	return dst
 }
 
 // Path returns the label path of this stream (diagnostics only).
-func (s *Stream) Path() string { return s.path }
+func (s *Stream) Path() string { return string(s.path) }
 
 // Float64 returns a uniform value in [0, 1).
 func (s *Stream) Float64() float64 { return s.r.Float64() }

@@ -1000,6 +1000,7 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 			rec.SlabPasses = st.SlabPasses
 			rec.SetSize = st.SetSize
 			rec.SetEvictions = st.SetEvictions
+			rec.Tier = st.Tier
 		}
 	}
 	ep.mu.Unlock()

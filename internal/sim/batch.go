@@ -25,8 +25,12 @@ type beliefFilter struct {
 	name   string
 }
 
-func newBeliefFilter(p *pomdp.POMDP, name string) *beliefFilter {
-	return &beliefFilter{p: p, sc: pomdp.NewScratch(p), name: name}
+// newBeliefFilter builds a filter over p sharing the given update scratch.
+// A worker's filters advance strictly sequentially (the scratch is transient
+// per UpdateInto call), so one scratch serves a whole stripe — the scratch
+// is by far the heaviest part of a filter to build.
+func newBeliefFilter(p *pomdp.POMDP, sc *pomdp.Scratch, name string) *beliefFilter {
+	return &beliefFilter{p: p, sc: sc, name: name}
 }
 
 // Name implements stepObserver.
@@ -63,7 +67,10 @@ func (f *beliefFilter) Observe(action, obs int) error {
 	return nil
 }
 
-// batchEpisode is one live episode of a batched campaign worker.
+// batchEpisode is one live episode of a batched campaign worker. Episode
+// objects are arena-recycled across the campaign: the RNG stream is reseeded
+// in place (rng.Stream.SplitNInto) and the belief filter stays attached, so
+// the steady state of a batched campaign starts episodes without allocating.
 type batchEpisode struct {
 	index  int // campaign episode index (RNG stream and fold order)
 	fault  int
@@ -71,6 +78,14 @@ type batchEpisode struct {
 	stream *rng.Stream
 	flt    *beliefFilter
 	res    EpisodeResult
+}
+
+// doneEpisode is a completed episode's result held by value until the
+// index-ordered fold, so the batchEpisode object can be recycled the moment
+// the episode terminates.
+type doneEpisode struct {
+	index int
+	res   EpisodeResult
 }
 
 // runWorkerBatched is runWorker's batched-stepping twin: it keeps up to
@@ -128,9 +143,11 @@ func (r *Runner) runWorkerBatched(w, workers int, ctrl controller.Controller, in
 
 	batch := opts.BatchSize
 	obsAction := r.rm.MonitorAction
+	// One update scratch shared by every filter of this worker's stripe.
+	filterScratch := pomdp.NewScratch(fp)
 	live := make([]*batchEpisode, 0, batch)
-	completed := make([]*batchEpisode, 0, batch)
-	free := make([]*beliefFilter, 0, batch)
+	completed := make([]doneEpisode, 0, batch)
+	free := make([]*batchEpisode, 0, batch)
 	beliefs := make([]pomdp.Belief, 0, batch)
 	decisions := make([]controller.Decision, batch)
 	next := w // next episode index of this worker's stripe
@@ -149,40 +166,46 @@ func (r *Runner) runWorkerBatched(w, workers int, ctrl controller.Controller, in
 			fatalIdx, fatalErr = e.index, err
 		}
 	}
+	// release returns the episode object (with its stream and filter) to
+	// the arena for the next start to reuse.
 	release := func(e *batchEpisode) {
-		if e.flt != nil {
-			free = append(free, e.flt)
-			e.flt = nil
-		}
+		free = append(free, e)
 	}
 
 	// start refills the live set from the stripe: derive the episode
 	// stream, inject the fault, reset a filter, and run the initial
-	// detection sweep — exactly RunEpisode's preamble.
+	// detection sweep — exactly RunEpisode's preamble. Recycled episode
+	// objects reseed their stream in place, so the steady state allocates
+	// nothing per episode.
 	start := func() {
 		for len(live) < batch && next < episodes && fatalIdx < 0 {
 			i := next
 			next += workers
-			ep := stream.SplitN("episode", i)
-			fault := faultStates[ep.IntN(len(faultStates))]
-			e := &batchEpisode{index: i, fault: fault, state: fault, stream: ep}
+			var e *batchEpisode
+			if len(free) > 0 {
+				e = free[len(free)-1]
+				free = free[:len(free)-1]
+			} else {
+				e = &batchEpisode{}
+			}
+			e.stream = stream.SplitNInto(e.stream, "episode", i)
+			fault := faultStates[e.stream.IntN(len(faultStates))]
+			e.index, e.fault, e.state = i, fault, fault
 			e.res = EpisodeResult{Injected: fault}
 			if fault < 0 || fault >= p.NumStates() {
 				fail(e, fmt.Errorf("sim: fault state %d out of range [0,%d)", fault, p.NumStates()))
+				release(e)
 				continue
 			}
-			if len(free) > 0 {
-				e.flt = free[len(free)-1]
-				free = free[:len(free)-1]
-			} else {
-				e.flt = newBeliefFilter(fp, name)
+			if e.flt == nil {
+				e.flt = newBeliefFilter(fp, filterScratch, name)
 			}
 			if err := e.flt.Reset(initial); err != nil {
 				fail(e, fmt.Errorf("sim: reset %s: %w", name, err))
 				release(e)
 				continue
 			}
-			st, err := r.step(e.flt, &e.res, e.state, obsAction, ep)
+			st, err := r.step(e.flt, &e.res, e.state, obsAction, e.stream)
 			if err != nil {
 				fail(e, err)
 				release(e)
@@ -253,7 +276,7 @@ func (r *Runner) runWorkerBatched(w, workers int, ctrl controller.Controller, in
 			switch {
 			case d.Terminate:
 				e.res.Recovered = r.isNull[e.state]
-				completed = append(completed, e)
+				completed = append(completed, doneEpisode{index: e.index, res: e.res})
 				release(e)
 			case d.Action < 0 || d.Action >= p.NumActions():
 				fail(e, fmt.Errorf("sim: %s chose invalid action %d", name, d.Action))
@@ -280,11 +303,11 @@ func (r *Runner) runWorkerBatched(w, workers int, ctrl controller.Controller, in
 	// floating-point-order sensitive, and index order is the sequential
 	// worker's fold order.
 	sort.Slice(completed, func(i, j int) bool { return completed[i].index < completed[j].index })
-	for _, e := range completed {
-		if fatalIdx >= 0 && e.index > fatalIdx {
+	for i := range completed {
+		if fatalIdx >= 0 && completed[i].index > fatalIdx {
 			continue
 		}
-		out.add(e.res)
+		out.add(completed[i].res)
 	}
 	return out, fatalErr
 }

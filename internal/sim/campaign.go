@@ -33,6 +33,10 @@ type CampaignResult struct {
 	Decisions                        int
 	TreeNodes, LeafEvals, SlabPasses uint64
 	BoundGap, BeliefEntropy          stats.Accumulator
+	// FSCDecisions and TreeDecisions split Decisions by serving tier: table
+	// hits of a compiled FSC vs Max-Avg tree expansions (including FSC
+	// fallbacks). Zero unless the controllers collect stats.
+	FSCDecisions, TreeDecisions int
 }
 
 // add folds one successful episode into the aggregate.
@@ -54,6 +58,8 @@ func (c *CampaignResult) add(res EpisodeResult) {
 		c.SlabPasses += res.SlabPasses
 		c.BoundGap.Add(res.BoundGapSum / float64(res.Decisions))
 		c.BeliefEntropy.Add(res.EntropySum / float64(res.Decisions))
+		c.FSCDecisions += res.FSCDecisions
+		c.TreeDecisions += res.TreeDecisions
 	}
 }
 
@@ -78,6 +84,8 @@ func (c *CampaignResult) merge(o *CampaignResult) {
 	c.SlabPasses += o.SlabPasses
 	c.BoundGap.Merge(&o.BoundGap)
 	c.BeliefEntropy.Merge(&o.BeliefEntropy)
+	c.FSCDecisions += o.FSCDecisions
+	c.TreeDecisions += o.TreeDecisions
 }
 
 // ControllerFactory builds an independent controller (and its initial

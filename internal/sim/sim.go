@@ -68,6 +68,12 @@ type EpisodeResult struct {
 	SlabPasses  uint64
 	BoundGapSum float64
 	EntropySum  float64
+	// FSCDecisions and TreeDecisions split Decisions by serving tier
+	// (controller.TierFSC table hits vs controller.TierTree expansions).
+	// Under a plain tree controller every decision is a TreeDecision; under
+	// a tiered FSC decider TreeDecisions counts the fallbacks.
+	FSCDecisions  int
+	TreeDecisions int
 }
 
 // addStats folds one decision's stats into the episode aggregates.
@@ -78,6 +84,12 @@ func (res *EpisodeResult) addStats(st controller.DecisionStats) {
 	res.SlabPasses += st.SlabPasses
 	res.BoundGapSum += st.BoundGap
 	res.EntropySum += st.BeliefEntropy
+	switch st.Tier {
+	case controller.TierFSC:
+		res.FSCDecisions++
+	case controller.TierTree:
+		res.TreeDecisions++
+	}
 }
 
 // Runner executes recovery episodes against a recovery model's simulated

@@ -109,6 +109,7 @@ func (c *recorded) Decide() (controller.Decision, error) {
 		rec.SlabPasses = st.SlabPasses
 		rec.SetSize = st.SetSize
 		rec.SetEvictions = st.SetEvictions
+		rec.Tier = st.Tier
 	}
 	if c.r.model != nil && rec.Action >= 0 && rec.Action < c.r.model.NumActions() {
 		rec.ActionName = c.r.model.M.ActionName(rec.Action)
