@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-campaign test-fleet test-fsc check vet fmt lint fuzz-smoke bench bench-smoke table1 fig5bounds
+.PHONY: build test test-short test-campaign test-fleet test-fsc check vet fmt lint docs-check fuzz-smoke bench bench-smoke table1 fig5bounds
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ fmt:
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+
+# Docs gate: every relative markdown link must resolve, and every flag
+# defined by every cmd/* binary must appear in README's CLI reference.
+docs-check:
+	sh scripts/check-links.sh
+	sh scripts/check-flags.sh
 
 # Campaign-engine equality, determinism, and partial-result tests under the
 # race detector — the fast gate for changes to internal/sim.
@@ -51,11 +57,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLogRecordDecode -fuzztime=10s ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzFSCDecode -fuzztime=10s ./internal/controller
 
-# The full gate: formatting, vet, the complete test suite (chaos campaign
-# included) under the race detector, the FSC campaign-equality gate, and the
-# fuzz smoke.
+# The full gate: formatting, vet, the docs gate, the complete test suite
+# (chaos campaign included) under the race detector, the FSC
+# campaign-equality gate, and the fuzz smoke.
 check: fmt
 	$(GO) vet ./...
+	$(MAKE) docs-check
 	$(GO) test -race ./...
 	$(MAKE) test-fsc
 	$(MAKE) fuzz-smoke

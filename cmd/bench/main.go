@@ -23,6 +23,13 @@
 //     decision against batch_decide for the compilation speedup)
 //   - campaign_fsc — the batched campaign decided by the tiered FSC decider
 //     (table hits plus tree fallbacks), same figures as campaign_batched
+//   - bounds_refine — one full HSVI-style offline bound-refinement run to
+//     convergence on the bootstrapped EMN set (core.Prepared.RefineBounds)
+//   - campaign_tiered_seed_bounds / campaign_tiered_refined_bounds — the
+//     bound-quality pair: tiered FSC+tree campaigns at the strictest gap
+//     threshold (0) over the bootstrapped seed set vs the HSVI-refined set;
+//     their tree_nodes_expanded and ns_per_decision figures quantify how
+//     much online tree work tighter offline bounds remove
 //   - campaign_batched — the campaign engine in batched stepping mode
 //     (CampaignOptions.BatchSize), same figures as campaign_sequential
 //   - campaign_seq_w{1,2,4,8} / campaign_batched_w{1,2,4,8} — the
@@ -104,6 +111,12 @@ type Entry struct {
 	EpisodesPerSec float64 `json:"episodes_per_sec,omitempty"`
 	NsPerEpisode   float64 `json:"ns_per_episode,omitempty"`
 	AllocsPerEp    int64   `json:"allocs_per_episode,omitempty"`
+	// Bound-quality fields (campaign_tiered_* entries): decision count and
+	// Max-Avg tree nodes expanded per decision on a fixed-seed profiling
+	// campaign, plus the per-decision cost derived from the timed runs.
+	Decisions         int     `json:"decisions,omitempty"`
+	NsPerDecision     float64 `json:"ns_per_decision,omitempty"`
+	TreeNodesExpanded float64 `json:"tree_nodes_expanded,omitempty"`
 }
 
 func entryOf(r testing.BenchmarkResult) Entry {
@@ -148,7 +161,8 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Bench))
-		names := []string{"campaign_sequential", "campaign_batched", "campaign_fsc", "campaign_parallel"}
+		names := []string{"campaign_sequential", "campaign_batched", "campaign_fsc",
+			"campaign_tiered_seed_bounds", "campaign_tiered_refined_bounds", "bounds_refine", "campaign_parallel"}
 		for _, w := range scalingWorkers {
 			names = append(names, fmt.Sprintf("campaign_seq_w%d", w), fmt.Sprintf("campaign_batched_w%d", w))
 		}
@@ -248,10 +262,127 @@ func run(episodes, workers int) (*Report, error) {
 	if err := benchFSC(rep, compiled, prep, episodes); err != nil {
 		return nil, err
 	}
+	if err := benchBounds(rep, compiled, episodes); err != nil {
+		return nil, err
+	}
 	if err := benchCampaigns(rep, compiled, prep, episodes, workers); err != nil {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// benchBounds measures offline HSVI bound refinement and its effect on
+// online tree work: two tiered (FSC table + tree fallback) campaigns at the
+// strictest gap threshold, one over the bootstrapped seed set and one over
+// the refined set. Refinement drives compile-time node gaps to ~0, so the
+// refined variant serves most decisions from the table and expands far fewer
+// Max-Avg tree nodes per decision — tree_nodes_expanded and ns_per_decision
+// are the bound-quality figures the ROADMAP asks the gate to watch.
+func benchBounds(rep *Report, compiled *arch.Compiled, episodes int) error {
+	seedPrep := func() (*core.Prepared, error) {
+		p, err := core.Prepare(compiled.Recovery, core.PrepareOptions{
+			OperatorResponseTime: emn.OperatorResponseTime,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Bootstrap(10, controller.VariantAverage, 1, rng.New(3)); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+
+	// bounds_refine: one full offline refinement run to convergence. Each
+	// iteration refines a fresh bootstrapped set; the rebuild is excluded
+	// from the timed region.
+	rep.Bench["bounds_refine"] = entryOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p, err := seedPrep()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := p.RefineBounds(core.RefineConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	runner, err := sim.NewRunner(compiled.Recovery, 20000)
+	if err != nil {
+		return err
+	}
+	faults := compiled.ZombieStates
+	measure := func(p *core.Prepared) (Entry, error) {
+		fsc, err := p.CompileFSC(core.FSCConfig{Depth: 1})
+		if err != nil {
+			return Entry{}, err
+		}
+		dec, err := p.NewFSCDecider(fsc, core.ControllerConfig{Depth: 1, CollectStats: true}, 0)
+		if err != nil {
+			return Entry{}, err
+		}
+		initial, err := p.InitialBelief()
+		if err != nil {
+			return Entry{}, err
+		}
+		factory := func() (controller.Controller, pomdp.Belief, error) {
+			return dec, initial, nil
+		}
+		opts := sim.CampaignOptions{Workers: 1, WorkerFactory: factory, BatchSize: 16}
+		// Decision-work profile from one fixed-seed campaign, outside the
+		// timed region.
+		profile, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(0), opts)
+		if err != nil {
+			return Entry{}, err
+		}
+		if profile.Decisions == 0 {
+			return Entry{}, fmt.Errorf("tiered profiling campaign recorded no decisions")
+		}
+		e := entryOf(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := runner.RunCampaignOpts(nil, nil, faults, episodes, rng.New(uint64(i)), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Episodes != episodes {
+					b.Fatalf("campaign completed %d/%d episodes", res.Episodes, episodes)
+				}
+			}
+		}))
+		e.Workers = 1
+		e.Episodes = episodes
+		e.NsPerEpisode = e.NsPerOp / float64(episodes)
+		e.EpisodesPerSec = 1e9 / e.NsPerEpisode
+		e.AllocsPerEp = e.AllocsPerOp / int64(episodes)
+		e.Decisions = profile.Decisions
+		e.NsPerDecision = e.NsPerOp / float64(profile.Decisions)
+		e.TreeNodesExpanded = float64(profile.TreeNodes) / float64(profile.Decisions)
+		return e, nil
+	}
+
+	seed, err := seedPrep()
+	if err != nil {
+		return err
+	}
+	if rep.Bench["campaign_tiered_seed_bounds"], err = measure(seed); err != nil {
+		return err
+	}
+	refined, err := seedPrep()
+	if err != nil {
+		return err
+	}
+	if _, err := refined.RefineBounds(core.RefineConfig{}); err != nil {
+		return err
+	}
+	if rep.Bench["campaign_tiered_refined_bounds"], err = measure(refined); err != nil {
+		return err
+	}
+	return nil
 }
 
 // benchFSC measures the compiled finite-state-controller fast path: batched

@@ -68,6 +68,8 @@ func run(ctx context.Context, args []string) error {
 		boundsPath  = fs.String("bounds", "", "load the bound set from this JSON file if it exists, and save it back after bootstrap")
 		fscPath     = fs.String("fsc", "", "load a compiled finite-state controller (see cmd/fsccompile) and serve table hits from it, falling back to the tree")
 		fscGap      = fs.Float64("fsc-gap-threshold", 1e-6, "serve an FSC node only when its compile-time bound gap is at most this; larger nodes fall back to the tree")
+		refine      = fs.Bool("refine-bounds", false, "run HSVI-style offline bound refinement (paired upper/lower bounds) after bootstrap, before serving")
+		refineGap   = fs.Float64("refine-gap", 1e-6, "with -refine-bounds, the root bound gap refinement converges to")
 		maxEpisodes = fs.Int("max-episodes", 0, "cap on concurrently open episodes (0 = default)")
 
 		checkpointDir   = fs.String("checkpoint-dir", "", "persist per-episode checkpoints here; a restarted daemon resumes all open episodes")
@@ -143,13 +145,48 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	metrics := obs.NewRegistry()
+
+	// Offline HSVI refinement: pair the (possibly bootstrapped) lower set
+	// with a sawtooth upper bound and tighten both until the root gap drops
+	// to -refine-gap. The refined planes land in prep.Set in place, so every
+	// controller below consumes them through the unchanged Set interface.
+	if *refine {
+		rep, err := prep.RefineBounds(core.RefineConfig{Epsilon: *refineGap})
+		if err != nil {
+			return fmt.Errorf("refine bounds: %w", err)
+		}
+		log.Printf("refined bounds in %v: root gap %.3g -> %.3g (%d trials, %d backups, +%d planes, +%d points, converged=%v)",
+			rep.Wall.Round(time.Millisecond), rep.InitialGap, rep.FinalGap,
+			rep.Trials, rep.Backups, rep.PlanesAdded, rep.PointsAdded, rep.Converged)
+		if *boundsPath != "" {
+			data, err := json.Marshal(prep.Set)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*boundsPath, data, 0o644); err != nil {
+				return err
+			}
+			log.Printf("saved refined bound set to %s", *boundsPath)
+		}
+		r := rep
+		metrics.GaugeFunc("recoverd_refine_root_gap",
+			"Root bound gap after offline HSVI refinement.",
+			func() float64 { return r.FinalGap })
+		metrics.CounterFunc("recoverd_refine_backups_total",
+			"Belief points backed up (lower and upper) by offline refinement.",
+			func() float64 { return float64(r.Backups) })
+		metrics.GaugeFunc("recoverd_refine_wall_seconds",
+			"Wall-clock time of the offline refinement run.",
+			func() float64 { return r.Wall.Seconds() })
+	}
+
 	// The compiled FSC fast path: one shared immutable table, per-episode
 	// FSCDecider wrappers around the usual tree controllers. Its hit/fallback
 	// counters are scraped straight off the shared table via the metrics
 	// registry, so serving pays nothing beyond the atomic increments the
 	// table keeps anyway.
 	var fsc *controller.FSC
-	metrics := obs.NewRegistry()
 	if *fscPath != "" {
 		f, err := os.Open(*fscPath)
 		if err != nil {

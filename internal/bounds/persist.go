@@ -33,6 +33,73 @@ func (s *Set) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// upperJSON is the stable on-disk representation of a sawtooth upper bound,
+// the artifact cmd/boundsrefine writes next to the refined lower set.
+type upperJSON struct {
+	// States is the dimension of the belief space.
+	States int `json:"states"`
+	// Corner is the per-state corner vector U₀.
+	Corner []float64 `json:"corner"`
+	// Points and Values are the interior sawtooth points.
+	Points [][]float64 `json:"points,omitempty"`
+	Values []float64   `json:"values,omitempty"`
+}
+
+// MarshalJSON encodes the upper bound (corner and interior points).
+func (u *UpperBound) MarshalJSON() ([]byte, error) {
+	out := upperJSON{
+		States: u.n,
+		Corner: append([]float64(nil), u.corner...),
+		Values: append([]float64(nil), u.vals...),
+		Points: make([][]float64, u.NumPoints()),
+	}
+	for i := range out.Points {
+		out.Points[i] = append([]float64(nil), u.pts[i*u.n:(i+1)*u.n]...)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes an upper bound previously encoded with MarshalJSON,
+// validating dimensions and finiteness.
+func (u *UpperBound) UnmarshalJSON(data []byte) error {
+	var in upperJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("bounds: decode upper bound: %w", err)
+	}
+	if in.States <= 0 {
+		return fmt.Errorf("bounds: decode upper bound: non-positive state count %d", in.States)
+	}
+	if len(in.Corner) != in.States {
+		return fmt.Errorf("bounds: decode upper bound: corner length %d, want %d", len(in.Corner), in.States)
+	}
+	if !linalg.Vector(in.Corner).IsFinite() {
+		return fmt.Errorf("bounds: decode upper bound: corner is not finite")
+	}
+	if len(in.Points) != len(in.Values) {
+		return fmt.Errorf("bounds: decode upper bound: %d points but %d values", len(in.Points), len(in.Values))
+	}
+	if !linalg.Vector(in.Values).IsFinite() {
+		return fmt.Errorf("bounds: decode upper bound: point values are not finite")
+	}
+	dec, err := NewUpperBound(in.Corner)
+	if err != nil {
+		return err
+	}
+	for i, pt := range in.Points {
+		if len(pt) != in.States {
+			return fmt.Errorf("bounds: decode upper bound: point %d has length %d, want %d", i, len(pt), in.States)
+		}
+		if !linalg.Vector(pt).IsFinite() {
+			return fmt.Errorf("bounds: decode upper bound: point %d is not finite", i)
+		}
+		dec.pts = append(dec.pts, pt...)
+		dec.vals = append(dec.vals, in.Values[i])
+		dec.cornerAt = append(dec.cornerAt, linalg.DotUnrolled(pt, dec.corner))
+	}
+	*u = *dec
+	return nil
+}
+
 // UnmarshalJSON decodes a set previously encoded with MarshalJSON,
 // validating dimensions and finiteness.
 func (s *Set) UnmarshalJSON(data []byte) error {

@@ -71,3 +71,66 @@ func TestSetUnmarshalRejectsMalformed(t *testing.T) {
 		})
 	}
 }
+
+func TestUpperBoundJSONRoundTrip(t *testing.T) {
+	r := rng.New(55)
+	mod := randomRecoveryModel(t, r, 4, 2, 3)
+	corner, err := QMDP(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpperBound(corner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := RASet(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewRefiner(mod, set, u, RefineConfig{MaxTrials: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(pomdp.UniformBelief(mod.NumStates())); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UpperBound
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPoints() != u.NumPoints() || back.NumStates() != u.NumStates() {
+		t.Fatalf("round trip: %d/%d points, %d/%d states",
+			back.NumPoints(), u.NumPoints(), back.NumStates(), u.NumStates())
+	}
+	for trial := 0; trial < 20; trial++ {
+		pi := randomBelief(r, mod.NumStates())
+		if a, b := u.Value(pi), back.Value(pi); a != b {
+			t.Fatalf("value mismatch after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestUpperBoundUnmarshalRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"zero states":     `{"states":0,"corner":[]}`,
+		"short corner":    `{"states":3,"corner":[1,2]}`,
+		"infinite corner": `{"states":1,"corner":[1e999]}`,
+		"short point":     `{"states":2,"corner":[0,-1],"points":[[1]],"values":[0]}`,
+		"missing values":  `{"states":2,"corner":[0,-1],"points":[[0.5,0.5]]}`,
+		"infinite value":  `{"states":2,"corner":[0,-1],"points":[[0.5,0.5]],"values":[1e999]}`,
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			var u UpperBound
+			if err := json.Unmarshal([]byte(data), &u); err == nil {
+				t.Errorf("malformed upper bound accepted: %s", data)
+			}
+		})
+	}
+}

@@ -9,6 +9,18 @@
 // A lower bound is represented as a set of hyperplanes over the belief
 // simplex: B = {b₁, …, b_k} with V_B⁻(π) = max_b π·b (Equation 6). The
 // RA-Bound alone is the single hyperplane [V_m⁻(s)]_s.
+//
+// The dual upper bound is a sawtooth point set (UpperBound): a per-state
+// corner vector (QMDP or the trivial zero bound of Condition 2) plus belief
+// points with known upper-bound values, interpolated by convexity. Refiner
+// pairs the two and tightens both HSVI-style — gap-weighted forward
+// exploration from a root belief, dual backups at every visited point —
+// until the root gap closes. Both structures tighten monotonically: Set.Add
+// only raises the lower envelope and UpperBound.AddPoint only lowers the
+// sawtooth, so the gap is pointwise nonincreasing over a refinement run,
+// and a pair that ever crosses is refused with ErrBoundCrossing. The
+// refined Set stays a plain Set, consumed unchanged by the Max-Avg tree and
+// the FSC compiler.
 package bounds
 
 import (

@@ -1,0 +1,94 @@
+package client_test
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"bpomdp/internal/client"
+	"bpomdp/internal/controller"
+	"bpomdp/internal/core"
+	"bpomdp/internal/models"
+	"bpomdp/internal/pomdp"
+	"bpomdp/internal/rng"
+	"bpomdp/internal/server"
+)
+
+// ExampleClient_DecideBatch decides recovery actions for many beliefs in one
+// stateless round-trip: the daemon runs a single shared tree expansion over
+// the whole batch and no episode state is created, so the request is
+// idempotent and retried freely. The same adapter plugs into the simulator's
+// batched campaign mode via c.BatchDecider().WithModel(prep.Model).
+func ExampleClient_DecideBatch() {
+	// A recovery daemon over the paper's two-server model (Fig. 1(a)).
+	ts, err := models.NewTwoServer(models.TwoServerConfig{Coverage: 0.9, FalsePositive: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm := &core.RecoveryModel{
+		POMDP:           ts.Model,
+		NullStates:      ts.NullStates,
+		RateRewards:     ts.RateRewards,
+		Durations:       []float64{1, 1, 0},
+		MonitorAction:   ts.ActionObserve,
+		MonitorDuration: 0.1,
+	}
+	prep, err := core.Prepare(rm, core.PrepareOptions{OperatorResponseTime: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := prep.Bootstrap(10, controller.VariantAverage, 1, rng.New(3)); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Model: prep.Model,
+		NewController: func() (controller.Controller, pomdp.Belief, error) {
+			ctrl, err := prep.NewController(core.ControllerConfig{Depth: 1})
+			if err != nil {
+				return nil, nil, err
+			}
+			initial, err := prep.InitialBelief()
+			return ctrl, initial, err
+		},
+		// NewBatchDecider enables POST /v1/decide/batch; deciders are pooled
+		// across requests, always with online improvement off.
+		NewBatchDecider: func() (controller.BatchDecider, error) {
+			return prep.NewController(core.ControllerConfig{Depth: 1})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	c, err := client.New(hs.URL, hs.Client())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One round-trip, one shared expansion: the uncertain initial belief and
+	// two point beliefs where the faulty server is known.
+	initial, err := prep.InitialBelief()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := prep.Model.NumStates()
+	beliefs := []pomdp.Belief{
+		initial,
+		pomdp.PointBelief(n, ts.StateFaultA),
+		pomdp.PointBelief(n, ts.StateFaultB),
+	}
+	decisions, err := c.DecideBatch(beliefs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range decisions {
+		fmt.Printf("belief %d: %s\n", i, prep.Model.M.ActionName(d.Action))
+	}
+
+	// Output:
+	// belief 0: observe
+	// belief 1: restart-a
+	// belief 2: restart-b
+}

@@ -210,6 +210,10 @@ type Prepared struct {
 	RA linalg.Vector
 	// Set is the improvable bound set, seeded with RA.
 	Set *bounds.Set
+	// Upper is the sawtooth upper bound paired with Set by RefineBounds; nil
+	// until refinement runs (the tree and FSC consume only Set, so serving
+	// never depends on it).
+	Upper *bounds.UpperBound
 
 	opts PrepareOptions
 }

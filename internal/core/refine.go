@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"bpomdp/internal/bounds"
+)
+
+// RefineConfig trims the HSVI refiner knobs exposed at this level.
+type RefineConfig struct {
+	// Epsilon is the target root bound gap; zero means the bounds-package
+	// default (1e-6).
+	Epsilon float64
+	// MaxTrials bounds the number of exploration trials (0 = default).
+	MaxTrials int
+	// MaxDepth caps each trial's forward-exploration depth (0 = default).
+	MaxDepth int
+}
+
+// RefineBounds runs HSVI-style offline bound refinement from the episode
+// initial belief: it pairs the prepared lower-bound set with a sawtooth
+// upper bound (QMDP corner when the MDP solve converges, the trivial zero
+// bound of Condition 2 otherwise — both valid), explores beliefs by the
+// gap-weighted forward rule, and backs both bounds up at every visited
+// point. The refined planes land in p.Set in place, so controllers, the FSC
+// compiler, and deciders built from this Prepared — before or after the
+// call — consume them through the unchanged Set interface; the upper bound
+// is retained on p.Upper for gap telemetry and later Runs. Refinement
+// composes with Bootstrap: a bootstrapped set just starts the run with a
+// smaller initial gap.
+func (p *Prepared) RefineBounds(cfg RefineConfig) (bounds.RefineReport, error) {
+	if p.Upper == nil {
+		corner, err := bounds.QMDP(p.Model, p.opts.Bounds)
+		if err != nil {
+			// QMDP can fail to converge off the happy path (e.g. a forced
+			// regime on a model violating Condition 1); the zero bound is
+			// always valid under Condition 2 and keeps refinement available.
+			if corner, err = bounds.TrivialUpper(p.Model); err != nil {
+				return bounds.RefineReport{}, fmt.Errorf("core: refine upper corner: %w", err)
+			}
+		}
+		up, err := bounds.NewUpperBound(corner)
+		if err != nil {
+			return bounds.RefineReport{}, err
+		}
+		p.Upper = up
+	}
+	r, err := bounds.NewRefiner(p.Model, p.Set, p.Upper, bounds.RefineConfig{
+		Beta:      p.opts.Bounds.Beta,
+		Epsilon:   cfg.Epsilon,
+		MaxTrials: cfg.MaxTrials,
+		MaxDepth:  cfg.MaxDepth,
+	})
+	if err != nil {
+		return bounds.RefineReport{}, err
+	}
+	initial, err := p.InitialBelief()
+	if err != nil {
+		return bounds.RefineReport{}, err
+	}
+	return r.Run(initial)
+}

@@ -10,6 +10,13 @@
 // same view of liveness always agree on who owns a key. Stale views are
 // corrected by the server's owner redirects (307 + X-Bpomdp-Owner) and by
 // clients marking members down when connections are refused.
+//
+// Durability composes with ownership: an episode's owner checkpoints it
+// locally, and when the episode terminates the owner replicates a terminal
+// tombstone to the key's ring successor (Ring.SuccessorOf) — the member that
+// will own the key if the owner dies — so a client whose final read was cut
+// off by the owner's death can retry against the new owner and receive the
+// original terminal decision byte-for-byte.
 package fleet
 
 import (

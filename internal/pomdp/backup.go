@@ -31,16 +31,28 @@ type BackupResult struct {
 // It is the depth-one building block of the controller's Max-Avg recursion
 // tree and of the Property 1(b) check V_B⁻ ≤ L_p V_B⁻.
 func Backup(p *POMDP, sc *Scratch, pi Belief, beta float64, leaf ValueFn) (BackupResult, error) {
+	return BackupInto(p, sc, pi, beta, leaf, nil)
+}
+
+// BackupInto is Backup with a caller-supplied QValues buffer, grown when its
+// capacity is insufficient; the returned BackupResult aliases it. Callers
+// that back up in a loop (the HSVI bound refiner's exploration trials) reuse
+// one buffer across calls instead of allocating a fresh Q-vector each time.
+// Results are bit-identical to Backup.
+func BackupInto(p *POMDP, sc *Scratch, pi Belief, beta float64, leaf ValueFn, q []float64) (BackupResult, error) {
 	if len(pi) != p.NumStates() {
 		return BackupResult{}, fmt.Errorf("pomdp: belief length %d, want %d", len(pi), p.NumStates())
 	}
 	if beta <= 0 || beta > 1 {
 		return BackupResult{}, fmt.Errorf("pomdp: discount beta=%v outside (0,1]", beta)
 	}
+	if cap(q) < p.NumActions() {
+		q = make([]float64, p.NumActions())
+	}
 	res := BackupResult{
 		Value:   math.Inf(-1),
 		Action:  -1,
-		QValues: make([]float64, p.NumActions()),
+		QValues: q[:p.NumActions()],
 	}
 	for a := 0; a < p.NumActions(); a++ {
 		q := p.ExpectedReward(pi, a)

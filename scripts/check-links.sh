@@ -1,0 +1,38 @@
+#!/bin/sh
+# check-links.sh — verify every relative markdown link in the repo's *.md
+# files points at a file that exists. External links (http/https/mailto) and
+# pure in-page anchors (#section) are skipped; a fragment on a relative link
+# ("DESIGN.md#bounds") is stripped before the existence check.
+#
+# Pure POSIX sh + grep/sed so it runs identically in CI and in a dev
+# container with no extra tooling.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in $(find . -path ./.git -prune -o -name '*.md' -print | sort); do
+	# Pull out every (target) of an inline [text](target) link. The markdown
+	# in this repo uses no nested parens in URLs, so a lazy [^)]* match is
+	# exact.
+	links=$(grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//') || continue
+	dir=$(dirname "$f")
+	for link in $links; do
+		case "$link" in
+		http://* | https://* | mailto:*) continue ;;
+		'#'*) continue ;;
+		esac
+		target=${link%%#*}
+		[ -n "$target" ] || continue
+		if [ ! -e "$dir/$target" ]; then
+			echo "$f: broken link: $link" >&2
+			fail=1
+		fi
+	done
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "check-links: FAIL" >&2
+	exit 1
+fi
+echo "check-links: OK"
