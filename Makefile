@@ -24,11 +24,13 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 
-# Docs gate: every relative markdown link must resolve, and every flag
-# defined by every cmd/* binary must appear in README's CLI reference.
+# Docs gate: every relative markdown link must resolve, every flag defined
+# by every cmd/* binary must appear in README's CLI reference, and every
+# registered metric family must appear in README's metrics table.
 docs-check:
 	sh scripts/check-links.sh
 	sh scripts/check-flags.sh
+	sh scripts/check-metrics.sh
 
 # Campaign-engine equality, determinism, and partial-result tests under the
 # race detector — the fast gate for changes to internal/sim.

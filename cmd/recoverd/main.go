@@ -84,9 +84,11 @@ func run(ctx context.Context, args []string) error {
 		fleetVnodes = fs.Int("fleet-vnodes", 0, "virtual nodes per member on the hash ring (0 = default; must match on every member and client)")
 
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
-		expvarOn    = fs.Bool("expvar", false, "also serve expvar under /debug/vars on the -pprof listener")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics plus the pprof endpoints on this separate address, keeping scrapers off the API port (empty = off)")
+		expvarOn    = fs.Bool("expvar", false, "also serve expvar under /debug/vars on the -pprof and -metrics-addr listeners")
 		logRequests = fs.Bool("log-requests", false, "log every API request (method, path, status, duration) via slog")
 		tracePath   = fs.String("trace", "", "append one structured JSONL decision record per computed decision to this file (enables per-decision stats collection)")
+		spanPath    = fs.String("span-trace", "", "append one bpomdp.span/v1 JSONL span per traced operation to this file; stitch files from every node with cmd/tracestats")
 
 		readHeaderTimeout = fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
 		readTimeout       = fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (bounds slow-loris request bodies)")
@@ -218,8 +220,8 @@ func run(ctx context.Context, args []string) error {
 			func() float64 { return float64(t.NumNodes()) })
 	}
 
-	if *expvarOn && *pprofAddr == "" {
-		return fmt.Errorf("-expvar needs a -pprof listener address")
+	if *expvarOn && *pprofAddr == "" && *metricsAddr == "" {
+		return fmt.Errorf("-expvar needs a -pprof or -metrics-addr listener address")
 	}
 	var traceFile *os.File
 	if *tracePath != "" {
@@ -230,6 +232,16 @@ func run(ctx context.Context, args []string) error {
 		traceFile = f
 		defer traceFile.Close()
 		log.Printf("tracing decisions to %s (schema %s)", *tracePath, obs.TraceSchema)
+	}
+	var spanFile *os.File
+	if *spanPath != "" {
+		f, err := os.OpenFile(*spanPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open span trace file: %w", err)
+		}
+		spanFile = f
+		defer spanFile.Close()
+		log.Printf("tracing episode spans to %s (schema %s)", *spanPath, obs.SpanSchema)
 	}
 
 	if (*fleetSelf == "") != (*fleetPeers == "") {
@@ -283,11 +295,16 @@ func run(ctx context.Context, args []string) error {
 	if traceFile != nil {
 		decisionTrace = traceFile
 	}
+	var spanTrace io.Writer
+	if spanFile != nil {
+		spanTrace = spanFile
+	}
 	srv, err := server.New(server.Config{
 		Model:             prep.Model,
 		MaxEpisodes:       *maxEpisodes,
 		Checkpointer:      checkpointer,
 		Fleet:             fleetCfg,
+		SpanTrace:         spanTrace,
 		EpisodeTTL:        *episodeTTL,
 		TombstoneTTL:      *tombstoneTTL,
 		ClientRetryBudget: *retryBudget,
@@ -368,6 +385,29 @@ func run(ctx context.Context, args []string) error {
 		}()
 	}
 
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		// A dedicated observability listener: scrapers and profilers reach
+		// /metrics and the pprof endpoints without touching the API port's
+		// request path, timeouts, or access logs.
+		mux := debugMux(*expvarOn)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = metrics.WritePrometheus(w)
+		})
+		metricsSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: *readHeaderTimeout,
+		}
+		go func() {
+			log.Printf("metrics listener (/metrics+pprof%s) on %s", map[bool]string{true: "+expvar"}[*expvarOn], *metricsAddr)
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("serving on %s", *addr)
@@ -378,10 +418,16 @@ func run(ctx context.Context, args []string) error {
 		if debugSrv != nil {
 			_ = debugSrv.Close()
 		}
+		if metricsSrv != nil {
+			_ = metricsSrv.Close()
+		}
 		srv.Close()
 		return err
 	case <-ctx.Done():
 		log.Printf("shutting down")
+		// Flip /healthz to 503 first so load balancers stop routing new
+		// work here while the in-flight requests drain.
+		srv.BeginShutdown()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		// Drain in-flight requests first, then checkpoint every still-open
@@ -389,6 +435,9 @@ func run(ctx context.Context, args []string) error {
 		shutdownErr := hs.Shutdown(shutdownCtx)
 		if debugSrv != nil {
 			_ = debugSrv.Close()
+		}
+		if metricsSrv != nil {
+			_ = metricsSrv.Close()
 		}
 		if err := srv.Close(); err != nil {
 			log.Printf("final checkpoint: %v", err)

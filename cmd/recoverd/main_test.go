@@ -213,12 +213,38 @@ func TestRunObservabilityFlags(t *testing.T) {
 		t.Errorf("trace file not created: %v", err)
 	}
 
-	// expvar is served on the pprof listener; without one it is an error.
+	// expvar is served on the pprof/metrics listeners; without either it is
+	// an error.
 	if err := run(cancelledCtx(), []string{
 		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
 		"-bootstrap", "0", "-expvar",
 	}); err == nil {
 		t.Error("-expvar without -pprof accepted")
+	}
+	// ... but a -metrics-addr listener alone satisfies it.
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "0", "-expvar", "-metrics-addr", "127.0.0.1:0",
+	}); err != nil {
+		t.Errorf("-expvar with -metrics-addr rejected: %v", err)
+	}
+
+	// The span trace file is created eagerly, like the decision trace.
+	spans := filepath.Join(t.TempDir(), "node.spans")
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "0", "-span-trace", spans,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(spans); err != nil {
+		t.Errorf("span trace file not created: %v", err)
+	}
+	if err := run(cancelledCtx(), []string{
+		"-addr", "127.0.0.1:0", "-model", "twoserver", "-top", "10",
+		"-bootstrap", "0", "-span-trace", filepath.Join(spans, "not-a-dir", "s.jsonl"),
+	}); err == nil {
+		t.Error("unwritable span trace path accepted")
 	}
 
 	// An unwritable trace path fails at startup, not at the first decision.

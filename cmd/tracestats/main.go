@@ -1,0 +1,106 @@
+// Command tracestats stitches bpomdp.span/v1 files from the nodes of a
+// recovery fleet (recoverd -span-trace) and its clients into one causal
+// timeline per episode, then reports where each recovery's wall-clock went:
+// controller decisions (by tier), checkpoint fsyncs, redirect hops, retry
+// backoff, adoption, and the network in between. It also verifies the
+// timelines are causally connected — every redirect, adoption, and
+// replication edge must point at a span that exists — and reports any
+// orphaned edges.
+//
+// Usage:
+//
+//	tracestats n1.spans n2.spans n3.spans client.spans
+//	tracestats -episode 3f9a… n*.spans     # one episode's full timeline
+//	tracestats -json n*.spans              # machine-readable stitch
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"bpomdp/internal/tracestats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracestats", flag.ContinueOnError)
+	var (
+		episode  = fs.String("episode", "", "render one episode's timeline: its trace id (clientKey) or numeric episode id")
+		jsonOut  = fs.Bool("json", false, "emit stitched timelines (or the selected episode) as JSON")
+		timeline = fs.Bool("timelines", false, "render every episode's timeline, not just the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no span files given (recoverd -span-trace writes them)")
+	}
+
+	spans, err := tracestats.Load(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	tls := tracestats.Stitch(spans)
+	if len(tls) == 0 {
+		return fmt.Errorf("no spans in %d file(s)", fs.NArg())
+	}
+
+	if *episode != "" {
+		tl := findEpisode(tls, *episode)
+		if tl == nil {
+			return fmt.Errorf("episode %q not found in %d traced episodes", *episode, len(tls))
+		}
+		if *jsonOut {
+			return emitJSON(tl)
+		}
+		fmt.Print(tl.Render())
+		return nil
+	}
+
+	if *jsonOut {
+		return emitJSON(struct {
+			Summary  tracestats.Summary     `json:"summary"`
+			Episodes []*tracestats.Timeline `json:"episodes"`
+		}{tracestats.Summarize(tls), tls})
+	}
+	if *timeline {
+		for _, tl := range tls {
+			fmt.Print(tl.Render())
+			fmt.Println()
+		}
+	}
+	fmt.Print(tracestats.Summarize(tls).Render())
+	return nil
+}
+
+// findEpisode matches by trace id first, then by numeric episode id.
+func findEpisode(tls []*tracestats.Timeline, key string) *tracestats.Timeline {
+	for _, tl := range tls {
+		if tl.TraceID == key {
+			return tl
+		}
+	}
+	if id, err := strconv.ParseUint(key, 10, 64); err == nil {
+		for _, tl := range tls {
+			if tl.Episode == id {
+				return tl
+			}
+		}
+	}
+	return nil
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

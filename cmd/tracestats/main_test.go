@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bpomdp/internal/obs"
+)
+
+// writeSpans writes a minimal single-episode span file and returns its path.
+func writeSpans(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "n1.spans")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := obs.NewSpanWriter(f)
+	ms := int64(1e6)
+	for _, rec := range []obs.SpanRecord{
+		{TraceID: "ck-1", Node: "client", Kind: obs.SpanClientCall, Start: 0, Duration: 10 * ms, Op: "decide"},
+		{TraceID: "ck-1", Node: "client", Kind: obs.SpanClientAttempt, Start: 0, Duration: 9 * ms, Op: "decide"},
+		{TraceID: "ck-1", Node: "n1", Kind: obs.SpanServerDecide, Start: 2 * ms, Duration: 5 * ms, Episode: 7, Status: 200, Tier: "tree"},
+	} {
+		rec := rec
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestRunSummaryAndEpisodeLookup(t *testing.T) {
+	path := writeSpans(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if err := run([]string{"-timelines", path}); err != nil {
+		t.Fatalf("timelines: %v", err)
+	}
+	if err := run([]string{"-json", path}); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	// Episode lookup works by trace id and by numeric server episode id.
+	if err := run([]string{"-episode", "ck-1", path}); err != nil {
+		t.Fatalf("by trace id: %v", err)
+	}
+	if err := run([]string{"-episode", "7", "-json", path}); err != nil {
+		t.Fatalf("by episode id: %v", err)
+	}
+	if err := run([]string{"-episode", "no-such", path}); err == nil {
+		t.Error("unknown episode accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no span files accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.spans")}); err == nil {
+		t.Error("missing span file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.spans")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}); err == nil {
+		t.Error("span-free input accepted")
+	}
+}

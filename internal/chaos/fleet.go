@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -36,7 +37,8 @@ type FleetNode struct {
 	HS   *httptest.Server
 	View *fleet.Membership
 
-	killed bool
+	killed   bool
+	spanFile *os.File
 }
 
 // FleetOptions tunes fleet construction.
@@ -48,6 +50,12 @@ type FleetOptions struct {
 	// server.OpenCheckpointStore ("" or "dir" for one-file-per-episode,
 	// "log" for the append-only log).
 	StoreKind string
+	// SpanDir, when set, turns on distributed episode tracing: member <id>
+	// writes its bpomdp.span/v1 stream to SpanDir/<id>.spans. A killed
+	// member's file keeps whatever it managed to write — exactly what a
+	// SIGKILLed process leaves behind — and SpanFiles lists every path for
+	// stitching.
+	SpanDir string
 }
 
 // NewFleet builds and starts a fleet with the given member IDs. Each node
@@ -88,12 +96,22 @@ func NewFleet(ids []string, root string, base server.Config, opts FleetOptions) 
 		cfg := base
 		cfg.Checkpointer = own
 		cfg.Fleet = &server.FleetConfig{Self: id, Membership: view, StoreFor: storeFor}
+		n := f.nodes[id]
+		if opts.SpanDir != "" {
+			sf, err := os.Create(filepath.Join(opts.SpanDir, id+".spans"))
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("chaos: member %q span file: %w", id, err)
+			}
+			n.spanFile = sf
+			cfg.SpanTrace = sf
+			cfg.Node = id
+		}
 		srv, err := server.New(cfg)
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("chaos: member %q: %w", id, err)
 		}
-		n := f.nodes[id]
 		n.Srv, n.View = srv, view
 		n.HS.Config.Handler = srv
 		n.HS.Start()
@@ -119,6 +137,21 @@ func (f *Fleet) Node(id string) *FleetNode {
 // Root returns the shared checkpoint root (per-member stores live at
 // Root()/<id>).
 func (f *Fleet) Root() string { return f.root }
+
+// SpanFiles returns every member's span-file path in construction order, or
+// nil when the fleet was built without FleetOptions.SpanDir. Killed members'
+// files are included — their spans are half of any cross-node story.
+func (f *Fleet) SpanFiles() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for _, m := range f.members {
+		if n := f.nodes[m.ID]; n != nil && n.spanFile != nil {
+			out = append(out, n.spanFile.Name())
+		}
+	}
+	return out
+}
 
 // Kill drops the named member as a SIGKILL would: in-flight connections are
 // severed mid-stream, the listener stops accepting, and no shutdown hook
@@ -214,7 +247,7 @@ func (f *Fleet) OpenEpisodes() int {
 	return total
 }
 
-// Close stops every still-live member.
+// Close stops every still-live member and closes their span files.
 func (f *Fleet) Close() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -222,6 +255,10 @@ func (f *Fleet) Close() {
 		if !n.killed && n.HS != nil {
 			n.killed = true
 			n.HS.Close()
+		}
+		if n.spanFile != nil {
+			_ = n.spanFile.Close()
+			n.spanFile = nil
 		}
 	}
 }

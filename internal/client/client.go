@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"bpomdp/internal/controller"
+	"bpomdp/internal/obs"
 	"bpomdp/internal/pomdp"
 	"bpomdp/internal/server"
 )
@@ -51,6 +52,10 @@ type Client struct {
 	http    *http.Client
 	policy  RetryPolicy
 	metrics *clientMetrics // nil unless WithMetrics was applied
+
+	// spans/spanNode are set by WithSpans; nil spans means untraced.
+	spans    *obs.SpanWriter
+	spanNode string
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -130,13 +135,19 @@ func (c *Client) Resume(id uint64) (*Episode, error) {
 }
 
 // episodeKeyHeader builds the routing-key header sent with episode-scoped
-// requests so fleet members can redirect or adopt instead of 404ing. Nil for
-// keyless episodes.
+// requests so fleet members can redirect or adopt instead of 404ing. The key
+// doubles as the episode's distributed trace id, so the same header set
+// carries X-Bpomdp-Trace — a span-enabled server then traces the episode
+// whether or not this client records its own spans. Nil for keyless
+// episodes.
 func episodeKeyHeader(key string) http.Header {
 	if key == "" {
 		return nil
 	}
-	return http.Header{server.HeaderEpisodeKey: []string{key}}
+	return http.Header{
+		server.HeaderEpisodeKey: []string{key},
+		server.HeaderTrace:      []string{key},
+	}
 }
 
 // newClientKey returns a 128-bit random idempotency key.
@@ -241,9 +252,33 @@ func (e *Episode) Abandon() error {
 
 // do performs one JSON request/response exchange under the retry policy.
 // hdr, when non-nil, supplies extra request headers (e.g. the fleet episode
-// key). Exhaustion — attempts or budget — returns a *RetryExhaustedError
-// wrapping the last failure.
+// key). A traced call (WithSpans applied and an episode key on the request)
+// is wrapped in a client.call span covering the whole retry loop.
+// Exhaustion — attempts or budget — returns a *RetryExhaustedError wrapping
+// the last failure.
 func (c *Client) do(method, path string, hdr http.Header, in, out any, idem idempotency) error {
+	trace := c.traceID(hdr)
+	if trace == "" {
+		return c.doRetry(method, path, hdr, in, out, idem, "", "")
+	}
+	op := callOp(method, path)
+	t0 := time.Now()
+	err := c.doRetry(method, path, hdr, in, out, idem, trace, op)
+	rec := &obs.SpanRecord{
+		TraceID: trace, Kind: obs.SpanClientCall, Op: op,
+		Start: t0.UnixNano(), Duration: time.Since(t0).Nanoseconds(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		rec.Status = StatusCode(err)
+	}
+	c.spanEmit(rec)
+	return err
+}
+
+// doRetry is the retry loop behind do. trace is empty for untraced calls;
+// when set, every attempt and backoff sleep emits its own span.
+func (c *Client) doRetry(method, path string, hdr http.Header, in, out any, idem idempotency, trace, op string) error {
 	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -276,12 +311,21 @@ func (c *Client) do(method, path string, hdr http.Header, in, out any, idem idem
 				}
 			}
 			slept += delay
-			c.policy.Sleep(delay)
+			if trace != "" {
+				c.spannedSleep(trace, op, attempt, delay)
+			} else {
+				c.policy.Sleep(delay)
+			}
 			if c.metrics != nil {
 				c.metrics.retries.Inc()
 			}
 		}
-		err := c.attempt(method, path, hdr, payload, out)
+		var err error
+		if trace != "" {
+			err = c.spannedAttempt(trace, op, attempt, method, path, hdr, payload, out)
+		} else {
+			err = c.attempt(method, path, hdr, payload, out)
+		}
 		if err == nil {
 			return nil
 		}

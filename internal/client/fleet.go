@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"time"
 
 	"bpomdp/internal/controller"
 	"bpomdp/internal/fleet"
+	"bpomdp/internal/obs"
 	"bpomdp/internal/pomdp"
 	"bpomdp/internal/server"
 )
@@ -184,8 +186,30 @@ func (e *FleetEpisode) Reset(b pomdp.Belief) error { return e.ep.Reset(b) }
 // failover re-routes the episode after its owner stopped answering:
 // mark the owner down, restart the key on the new owner (dedupe or adoption
 // returns the same episode), re-bind. The client-side step counter carries
-// over — it is the dedupe cursor for retransmitted observations.
+// over — it is the dedupe cursor for retransmitted observations. On a traced
+// client the whole re-bind is recorded as a client.failover span whose
+// Target is the owner the episode moved to.
 func (e *FleetEpisode) failover() error {
+	c := e.ep.c
+	if c.spans == nil {
+		return e.rebind()
+	}
+	t0 := time.Now()
+	err := e.rebind()
+	rec := &obs.SpanRecord{
+		TraceID: e.key, Kind: obs.SpanClientFailover, Target: e.ownerID,
+		Start: t0.UnixNano(), Duration: time.Since(t0).Nanoseconds(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		rec.Target = ""
+	}
+	c.spanEmit(rec)
+	return err
+}
+
+// rebind is failover without the span bookkeeping.
+func (e *FleetEpisode) rebind() error {
 	_, _ = e.fc.view.MarkDown(e.ownerID)
 	var lastErr error
 	for hop := 0; hop < e.fc.memberCount(); hop++ {

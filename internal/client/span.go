@@ -1,0 +1,94 @@
+package client
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"bpomdp/internal/obs"
+	"bpomdp/internal/server"
+)
+
+// WithSpans attaches an episode span writer to the client: every traced call
+// (one carrying an episode key) emits client.call / client.attempt /
+// client.backoff spans keyed by the episode's trace id, ready to be stitched
+// with the servers' span streams by cmd/tracestats. node names this process
+// in the emitted spans ("client" when empty). The writer is typically shared
+// with other clients of the same process — SpanWriter serializes writes.
+// A nil writer leaves the client untraced; an untraced client pays one nil
+// check per call.
+func WithSpans(sw *obs.SpanWriter, node string) Option {
+	return func(c *Client) {
+		if sw == nil {
+			return
+		}
+		if node == "" {
+			node = "client"
+		}
+		c.spans = sw
+		c.spanNode = node
+	}
+}
+
+// spanEmit stamps the node and writes rec, best-effort.
+func (c *Client) spanEmit(rec *obs.SpanRecord) {
+	rec.Node = c.spanNode
+	_ = c.spans.Write(rec)
+}
+
+// callOp names the logical operation of a client call for span records, from
+// the request shape ("start", "decide", "observe", "belief", "delete",
+// "status").
+func callOp(method, path string) string {
+	switch {
+	case method == http.MethodPost && path == "/v1/episodes":
+		return "start"
+	case strings.HasSuffix(path, "/decision"):
+		return "decide"
+	case strings.HasSuffix(path, "/observations"):
+		return "observe"
+	case strings.HasSuffix(path, "/belief"):
+		return "belief"
+	case method == http.MethodDelete:
+		return "delete"
+	default:
+		return "status"
+	}
+}
+
+// traceID extracts the episode trace id a call will carry on the wire.
+// Empty when the call is keyless (nothing to stitch by) or spans are off.
+func (c *Client) traceID(hdr http.Header) string {
+	if c.spans == nil {
+		return ""
+	}
+	return hdr.Get(server.HeaderTrace)
+}
+
+// spannedSleep is the backoff sleep of a traced call: the wait is recorded
+// as a client.backoff span so tracestats can attribute it. attempt numbers
+// the attempt the sleep precedes.
+func (c *Client) spannedSleep(traceID, op string, attempt int, delay time.Duration) {
+	t0 := time.Now()
+	c.policy.Sleep(delay)
+	c.spanEmit(&obs.SpanRecord{
+		TraceID: traceID, Kind: obs.SpanClientBackoff, Op: op, Attempt: attempt,
+		Start: t0.UnixNano(), Duration: time.Since(t0).Nanoseconds(),
+	})
+}
+
+// spannedAttempt wraps one instrumented attempt in a client.attempt span.
+func (c *Client) spannedAttempt(traceID, op string, attempt int, method, path string, hdr http.Header, payload []byte, out any) error {
+	t0 := time.Now()
+	err := c.attempt(method, path, hdr, payload, out)
+	rec := &obs.SpanRecord{
+		TraceID: traceID, Kind: obs.SpanClientAttempt, Op: op, Attempt: attempt,
+		Start: t0.UnixNano(), Duration: time.Since(t0).Nanoseconds(),
+	}
+	if err != nil {
+		rec.Status = StatusCode(err)
+		rec.Err = err.Error()
+	}
+	c.spanEmit(rec)
+	return err
+}

@@ -66,6 +66,7 @@ type Bounded struct {
 var (
 	_ Controller       = (*Bounded)(nil)
 	_ BatchDecider     = (*Bounded)(nil)
+	_ TierSource       = (*Bounded)(nil)
 	_ BatchStatsSource = (*Bounded)(nil)
 )
 
@@ -220,6 +221,10 @@ func (b *Bounded) statsFor(pi pomdp.Belief, d Decision, q []float64) DecisionSta
 
 // StatsEnabled implements StatsSource.
 func (b *Bounded) StatsEnabled() bool { return b.cfg.CollectStats }
+
+// LastTier implements TierSource: every Bounded decision is a Max-Avg tree
+// expansion.
+func (b *Bounded) LastTier() string { return TierTree }
 
 // DecisionStats implements StatsSource: the stats of the most recent Decide
 // (or of the last belief decided by a sequential-fallback DecideBatch).

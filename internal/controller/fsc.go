@@ -227,12 +227,17 @@ type FSCDecider struct {
 	// Stats scratch, populated only with cfg.CollectStats.
 	lastStats  DecisionStats
 	batchStats []DecisionStats
+
+	// lastTier records which tier served the latest Decide — always, not
+	// just under CollectStats; it is one constant string store.
+	lastTier string
 }
 
 var (
 	_ Controller       = (*FSCDecider)(nil)
 	_ BatchDecider     = (*FSCDecider)(nil)
 	_ BatchStatsSource = (*FSCDecider)(nil)
+	_ TierSource       = (*FSCDecider)(nil)
 )
 
 // NewFSCDecider builds the tiered decider over a compiled FSC with the
@@ -356,6 +361,7 @@ func (d *FSCDecider) Decide() (Decision, error) {
 		n := &d.fsc.nodes[d.node]
 		if d.fsc.serves(n, d.cfg.GapThreshold) {
 			d.fsc.hits.Add(1)
+			d.lastTier = TierFSC
 			if d.cfg.CollectStats {
 				d.lastStats = d.fscStats(n, d.belief)
 			}
@@ -363,6 +369,7 @@ func (d *FSCDecider) Decide() (Decision, error) {
 		}
 	}
 	d.fsc.fallbacks.Add(1)
+	d.lastTier = TierTree
 	dec, err := d.fallback.decideAt(d.belief)
 	if err != nil {
 		return Decision{}, err
@@ -398,6 +405,10 @@ func (d *FSCDecider) fscStats(n *FSCNode, pi pomdp.Belief) DecisionStats {
 
 // StatsEnabled implements StatsSource.
 func (d *FSCDecider) StatsEnabled() bool { return d.cfg.CollectStats }
+
+// LastTier implements TierSource: TierFSC after a table hit, TierTree after
+// a fallback; empty before the first Decide.
+func (d *FSCDecider) LastTier() string { return d.lastTier }
 
 // DecisionStats implements StatsSource: the stats of the most recent
 // Decide. Valid until the next decision call; only meaningful with

@@ -11,6 +11,15 @@ const (
 	TierFSC = "fsc"
 )
 
+// TierSource reports which tier served a controller's most recent Decide.
+// Unlike StatsSource it is always live — recording the tier is one constant
+// store per decision — so per-tier latency metrics and span labels work
+// even when full stats collection is off. Meaningful only from the single
+// goroutine driving the controller, like Decide itself.
+type TierSource interface {
+	LastTier() string
+}
+
 // EngineCounters are the Engine's monotone work counters. The counters are
 // plain (non-atomic) fields bumped unconditionally on the expansion paths —
 // an increment per Backup is noise next to the backup itself — and are read

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	in := []SpanRecord{
+		{TraceID: "k1", Node: "n1", Kind: SpanServerDecide, Start: 100, Duration: 50,
+			Episode: 7, Tier: "fsc", Status: 200},
+		{TraceID: "k1", Node: "client", Kind: SpanClientBackoff, Start: 160, Duration: 40,
+			Op: "decide", Attempt: 1},
+		{TraceID: "k2", Node: "n2", Kind: SpanServerReplicate, Start: 10, Duration: 5,
+			Target: "n3", Events: []SpanEvent{{Name: "attempt", At: 11, Detail: "status=204"}}},
+	}
+	for i := range in {
+		rec := in[i]
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := DecodeSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("decoded %d spans, want %d", len(got), len(in))
+	}
+	for i := range got {
+		if got[i].Schema != SpanSchema {
+			t.Errorf("span %d schema %q", i, got[i].Schema)
+		}
+		if got[i].TraceID != in[i].TraceID || got[i].Kind != in[i].Kind ||
+			got[i].Start != in[i].Start || got[i].Duration != in[i].Duration {
+			t.Errorf("span %d round-trip mismatch: %+v vs %+v", i, got[i], in[i])
+		}
+	}
+	if got[0].End() != 150 {
+		t.Errorf("End() = %d, want 150", got[0].End())
+	}
+	if len(got[2].Events) != 1 || got[2].Events[0].Detail != "status=204" {
+		t.Errorf("events did not round-trip: %+v", got[2].Events)
+	}
+}
+
+func TestDecodeSpansRejectsBadRecords(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":      `{"schema":"bpomdp.trace/v1","traceId":"k","node":"n","kind":"server.decide","startUnixNano":1,"durationNanos":1}`,
+		"missing traceId":   `{"schema":"bpomdp.span/v1","node":"n","kind":"server.decide","startUnixNano":1,"durationNanos":1}`,
+		"missing node":      `{"schema":"bpomdp.span/v1","traceId":"k","kind":"server.decide","startUnixNano":1,"durationNanos":1}`,
+		"missing kind":      `{"schema":"bpomdp.span/v1","traceId":"k","node":"n","startUnixNano":1,"durationNanos":1}`,
+		"negative duration": `{"schema":"bpomdp.span/v1","traceId":"k","node":"n","kind":"server.decide","startUnixNano":1,"durationNanos":-1}`,
+		"not json":          `nope`,
+	}
+	for name, line := range cases {
+		if _, err := DecodeSpans(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Blank lines are skipped, as for decision traces.
+	got, err := DecodeSpans(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank stream: %v, %d spans", err, len(got))
+	}
+}
+
+func TestSpanWriterConcurrent(t *testing.T) {
+	var buf syncBuffer
+	w := NewSpanWriter(&buf)
+	const goroutines, each = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = w.Write(&SpanRecord{TraceID: "k", Node: "n", Kind: SpanServerDecide,
+					Start: int64(g*each + i), Duration: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	got, err := DecodeSpans(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != goroutines*each {
+		t.Fatalf("decoded %d spans, want %d", len(got), goroutines*each)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the SpanWriter serializes
+// encoding, but the underlying writer must still be safe for the test's
+// final read.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bpomdp/internal/fleet"
+	"bpomdp/internal/obs"
 )
 
 // Fleet request headers.
@@ -220,7 +221,8 @@ func (s *Server) adoptFromMember(memberID string, want func(key string) bool) (i
 			continue
 		}
 		tombed[ts.EpisodeID] = true
-		s.adoptTombstone(ts)
+		at0 := s.spanStart()
+		claimed := s.adoptTombstone(ts)
 		if err := store.DeleteTombstone(ts.EpisodeID); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -230,6 +232,11 @@ func (s *Server) adoptFromMember(memberID string, want func(key string) bool) (i
 			if err := store.Delete(ts.EpisodeID); err != nil && firstErr == nil {
 				firstErr = err
 			}
+		}
+		if claimed && !at0.IsZero() {
+			s.emitSpan(&obs.SpanRecord{TraceID: ts.ClientKey, Kind: obs.SpanServerAdopt,
+				Op: obs.SpanOpTombstone, Episode: ts.EpisodeID, Source: memberID,
+				Start: at0.UnixNano(), Duration: time.Since(at0).Nanoseconds()})
 		}
 	}
 	adopted := 0
@@ -249,9 +256,11 @@ func (s *Server) adoptFromMember(memberID string, want func(key string) bool) (i
 		if owner, ok := f.Membership.Owner(st.ClientKey); !ok || owner.ID != f.Self {
 			continue
 		}
+		at0 := s.spanStart()
 		if !s.adoptOne(st) {
 			continue
 		}
+		adopted++
 		// Persist into our own store before removing the source record so a
 		// crash between the two leaves the episode recoverable (twice is
 		// fine — replay is deterministic and the duplicate loses the byKey
@@ -260,7 +269,11 @@ func (s *Server) adoptFromMember(memberID string, want func(key string) bool) (i
 		if err := store.Delete(st.EpisodeID); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		adopted++
+		if !at0.IsZero() {
+			s.emitSpan(&obs.SpanRecord{TraceID: st.ClientKey, Kind: obs.SpanServerAdopt,
+				Op: obs.SpanOpEpisode, Episode: st.EpisodeID, Source: memberID,
+				Start: at0.UnixNano(), Duration: time.Since(at0).Nanoseconds()})
+		}
 	}
 	return adopted, firstErr
 }
@@ -520,23 +533,47 @@ func (s *Server) replicateTombstone(ts TombstoneState) {
 		return
 	}
 	s.repWG.Add(1)
+	s.repInFlight.Add(1)
 	s.mu.Unlock()
 	go func() {
 		defer s.repWG.Done()
-		for _, d := range tombstoneReplicateBackoff {
+		defer s.repInFlight.Add(-1)
+		t0 := s.spanStart()
+		var events []obs.SpanEvent
+		finish := func(errMsg string) {
+			if t0.IsZero() {
+				return
+			}
+			s.emitSpan(&obs.SpanRecord{TraceID: ts.ClientKey, Kind: obs.SpanServerReplicate,
+				Episode: ts.EpisodeID, Target: succ.ID,
+				Start: t0.UnixNano(), Duration: time.Since(t0).Nanoseconds(),
+				Err: errMsg, Events: events})
+		}
+		for i, d := range tombstoneReplicateBackoff {
 			if d > 0 {
 				select {
 				case <-time.After(d):
 				case <-s.repStop:
+					finish("aborted by shutdown")
 					return
 				}
 			}
-			if err := s.postTombstone(succ, ts); err == nil {
+			err := s.postTombstone(succ, ts)
+			if !t0.IsZero() {
+				detail := fmt.Sprintf("attempt=%d ok", i+1)
+				if err != nil {
+					detail = fmt.Sprintf("attempt=%d %s", i+1, err)
+				}
+				events = append(events, obs.SpanEvent{Name: "attempt", At: time.Now().UnixNano(), Detail: detail})
+			}
+			if err == nil {
 				s.m.tombstonesReplicated.Inc()
+				finish("")
 				return
 			}
 		}
 		s.m.tombstoneRepErrors.Inc()
+		finish("replication retries exhausted")
 	}()
 }
 
@@ -551,6 +588,11 @@ func (s *Server) postTombstone(to fleet.Member, ts TombstoneState) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if ts.ClientKey != "" {
+		// The replica write joins the episode's distributed trace: the
+		// receiver's accept handler emits a span under the same id.
+		req.Header.Set(HeaderTrace, ts.ClientKey)
+	}
 	resp, err := fleetHTTPClient.Do(req)
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"bpomdp/internal/controller"
 	"bpomdp/internal/obs"
 )
 
@@ -40,6 +41,12 @@ type serverMetrics struct {
 	latObserve *obs.Histogram
 	latDecide  *obs.Histogram
 	latBatch   *obs.Histogram
+
+	// latDecideFSC/latDecideTree measure the controller Decide call alone
+	// (no JSON, no checkpointing), labeled by the serving tier — the
+	// first-class form of the fsc-vs-tree split the hit counters only count.
+	latDecideFSC  *obs.Histogram
+	latDecideTree *obs.Histogram
 }
 
 // newServerMetrics registers the server's instruments on reg. Registration
@@ -79,7 +86,21 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		latObserve:           lat("observe"),
 		latDecide:            lat("decide"),
 		latBatch:             lat("batch"),
+		latDecideFSC: reg.Histogram("recoverd_decision_duration_seconds",
+			"Controller decision latency in seconds by serving tier.",
+			obs.DefLatencyBuckets, obs.Label{Key: "tier", Value: controller.TierFSC}),
+		latDecideTree: reg.Histogram("recoverd_decision_duration_seconds",
+			"Controller decision latency in seconds by serving tier.",
+			obs.DefLatencyBuckets, obs.Label{Key: "tier", Value: controller.TierTree}),
 	}
+}
+
+// decideLatency picks the tier-labeled decision histogram.
+func (m *serverMetrics) decideLatency(tier string) *obs.Histogram {
+	if tier == controller.TierFSC {
+		return m.latDecideFSC
+	}
+	return m.latDecideTree
 }
 
 // timed wraps a handler with a latency observation. It uses the real clock

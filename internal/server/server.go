@@ -61,6 +61,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bpomdp/internal/controller"
@@ -131,6 +132,15 @@ type Config struct {
 	// records carry the full bound-gap explanation. The writer need not be
 	// synchronized; records are serialized internally.
 	DecisionTrace io.Writer
+	// SpanTrace, when non-nil, receives one JSONL obs.SpanRecord per traced
+	// operation (handler serve, redirect hop, checkpoint write, adoption,
+	// tombstone replication) for requests carrying an X-Bpomdp-Trace header.
+	// Nil keeps the span layer entirely off the hot path: handlers are
+	// registered unwrapped. The writer need not be synchronized.
+	SpanTrace io.Writer
+	// Node names this process in emitted spans. Defaults to Fleet.Self in
+	// fleet mode, "recoverd" otherwise.
+	Node string
 	// now overrides time.Now in tests.
 	now func() time.Time
 }
@@ -162,6 +172,10 @@ type Server struct {
 	tombOverflow bool
 	nextID       uint64
 	closed       bool
+	// draining flips /healthz to 503 once graceful shutdown begins, so
+	// load-balancers and fleet probes stop routing new work here while
+	// in-flight requests finish. Set by BeginShutdown and by Close.
+	draining bool
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -181,6 +195,14 @@ type Server struct {
 	m *serverMetrics
 	// trace, when non-nil, receives structured decision records.
 	trace *obs.TraceWriter
+	// spans, when non-nil, receives distributed episode spans; node names
+	// this process in them. startAt anchors the health view's uptime.
+	spans   *obs.SpanWriter
+	node    string
+	startAt time.Time
+	// repInFlight counts tombstone replication goroutines currently running
+	// (the replication backlog surfaced by /v1/fleet/health and /metrics).
+	repInFlight atomic.Int64
 
 	// batchPool recycles batch deciders across /v1/decide/batch requests so
 	// the steady state builds no controllers.
@@ -304,6 +326,13 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if cfg.Node == "" {
+		if cfg.Fleet != nil {
+			cfg.Node = cfg.Fleet.Self
+		} else {
+			cfg.Node = "recoverd"
+		}
+	}
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
@@ -314,23 +343,32 @@ func New(cfg Config) (*Server, error) {
 		repStop:    make(chan struct{}),
 		nextID:     cfg.EpisodeIDBase,
 		m:          newServerMetrics(reg),
+		node:       cfg.Node,
+		startAt:    time.Now(),
 	}
 	if cfg.DecisionTrace != nil {
 		s.trace = obs.NewTraceWriter(cfg.DecisionTrace)
+	}
+	if cfg.SpanTrace != nil {
+		s.spans = obs.NewSpanWriter(cfg.SpanTrace)
 	}
 	// The open-episode gauge is computed at scrape time from the episode
 	// table, so /metrics and OpenEpisodes always agree — one source.
 	reg.GaugeFunc("recoverd_episodes_open", "Currently open episodes.",
 		func() float64 { return float64(s.OpenEpisodes()) })
+	reg.GaugeFunc("recoverd_tombstone_replication_inflight",
+		"Tombstone replication sends currently in flight.",
+		func() float64 { return float64(s.repInFlight.Load()) })
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
-	s.mux.HandleFunc("POST /v1/episodes", timed(s.m.latStart, s.handleStart))
-	s.mux.HandleFunc("GET /v1/episodes/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/episodes/{id}/decision", timed(s.m.latDecide, s.handleDecision))
-	s.mux.HandleFunc("POST /v1/episodes/{id}/observations", timed(s.m.latObserve, s.handleObservation))
-	s.mux.HandleFunc("GET /v1/episodes/{id}/belief", s.handleBelief)
-	s.mux.HandleFunc("DELETE /v1/episodes/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/fleet/health", s.handleFleetHealth)
+	s.mux.HandleFunc("POST /v1/episodes", timed(s.m.latStart, s.spanned(obs.SpanServerStart, s.handleStart)))
+	s.mux.HandleFunc("GET /v1/episodes/{id}", s.spanned(obs.SpanServerStatus, s.handleStatus))
+	s.mux.HandleFunc("GET /v1/episodes/{id}/decision", timed(s.m.latDecide, s.spanned(obs.SpanServerDecide, s.handleDecision)))
+	s.mux.HandleFunc("POST /v1/episodes/{id}/observations", timed(s.m.latObserve, s.spanned(obs.SpanServerObserve, s.handleObservation)))
+	s.mux.HandleFunc("GET /v1/episodes/{id}/belief", s.spanned(obs.SpanServerBelief, s.handleBelief))
+	s.mux.HandleFunc("DELETE /v1/episodes/{id}", s.spanned(obs.SpanServerDelete, s.handleDelete))
 	if cfg.NewBatchDecider != nil {
 		s.mux.HandleFunc("POST /v1/decide/batch", timed(s.m.latBatch, s.handleBatchDecide))
 	}
@@ -338,7 +376,7 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /v1/fleet", s.handleFleetView)
 		s.mux.HandleFunc("POST /v1/fleet/members/{id}/down", s.handleFleetDown)
 		s.mux.HandleFunc("POST /v1/fleet/members/{id}/up", s.handleFleetUp)
-		s.mux.HandleFunc("POST /v1/fleet/tombstones", s.handleTombstoneReplica)
+		s.mux.HandleFunc("POST /v1/fleet/tombstones", s.spanned(obs.SpanServerAccept, s.handleTombstoneReplica))
 	}
 	if cfg.Checkpointer != nil {
 		s.restore()
@@ -524,6 +562,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.draining = true
 	eps := make([]*episode, 0, len(s.episodes))
 	for _, ep := range s.episodes {
 		eps = append(eps, ep)
@@ -724,8 +763,28 @@ type (
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		// 503 tells load-balancers and fleet probes to drain: new starts
+		// would land on a process about to stop serving them.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok\n"))
+}
+
+// BeginShutdown marks the server as draining: /healthz answers 503 from the
+// first call on, while every other endpoint keeps serving. Call it before
+// http.Server.Shutdown so balancers stop sending new episodes during the
+// drain window; Close implies it. Idempotent.
+func (s *Server) BeginShutdown() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -963,11 +1022,26 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	t0 := time.Now()
 	d, derr := ep.ctrl.Decide()
 	if derr != nil {
 		ep.mu.Unlock()
 		writeError(w, http.StatusInternalServerError, derr)
 		return
+	}
+	// Per-tier decision latency: the controller records which tier served
+	// (an always-on constant store, unlike full stats collection).
+	tier := controller.TierTree
+	if tsrc, ok := ep.ctrl.(controller.TierSource); ok {
+		if lt := tsrc.LastTier(); lt != "" {
+			tier = lt
+		}
+	}
+	s.m.decideLatency(tier).Observe(time.Since(t0).Seconds())
+	if s.spans != nil {
+		// The spanned wrapper lifts the tier off this response header onto
+		// the decide span.
+		w.Header().Set(HeaderTier, tier)
 	}
 	resp := DecisionResponse{Action: d.Action, Terminate: d.Terminate, Value: d.Value}
 	if !d.Terminate || d.Action >= 0 {
@@ -1024,8 +1098,19 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 		// order would open a window where the final decision exists nowhere
 		// durable.
 		if s.cfg.Checkpointer != nil {
-			if err := s.cfg.Checkpointer.SaveTombstone(ts); err != nil {
+			ct0 := s.spanStart()
+			serr := s.cfg.Checkpointer.SaveTombstone(ts)
+			if serr != nil {
 				s.m.checkpointErrors.Inc()
+			}
+			if !ct0.IsZero() {
+				rec := &obs.SpanRecord{TraceID: ep.clientKey, Kind: obs.SpanServerCheckpoint,
+					Op: obs.SpanOpTombstone, Episode: id,
+					Start: ct0.UnixNano(), Duration: time.Since(ct0).Nanoseconds()}
+				if serr != nil {
+					rec.Err = serr.Error()
+				}
+				s.emitSpan(rec)
 			}
 		}
 		s.mu.Lock()
@@ -1036,8 +1121,19 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 		s.insertTombstoneLocked(ts)
 		s.mu.Unlock()
 		if s.cfg.Checkpointer != nil {
-			if err := s.cfg.Checkpointer.Delete(id); err != nil {
+			ct0 := s.spanStart()
+			delErr := s.cfg.Checkpointer.Delete(id)
+			if delErr != nil {
 				s.m.checkpointErrors.Inc()
+			}
+			if !ct0.IsZero() {
+				rec := &obs.SpanRecord{TraceID: ep.clientKey, Kind: obs.SpanServerCheckpoint,
+					Op: obs.SpanOpDelete, Episode: id,
+					Start: ct0.UnixNano(), Duration: time.Since(ct0).Nanoseconds()}
+				if delErr != nil {
+					rec.Err = delErr.Error()
+				}
+				s.emitSpan(rec)
 			}
 		}
 		s.replicateTombstone(ts)
@@ -1202,8 +1298,19 @@ func (s *Server) checkpointState(st EpisodeState) {
 	if s.cfg.Checkpointer == nil {
 		return
 	}
-	if err := s.cfg.Checkpointer.Save(st); err != nil {
+	t0 := s.spanStart()
+	err := s.cfg.Checkpointer.Save(st)
+	if err != nil {
 		s.m.checkpointErrors.Inc()
+	}
+	if !t0.IsZero() && st.ClientKey != "" {
+		rec := &obs.SpanRecord{TraceID: st.ClientKey, Kind: obs.SpanServerCheckpoint,
+			Op: obs.SpanOpSave, Episode: st.EpisodeID,
+			Start: t0.UnixNano(), Duration: time.Since(t0).Nanoseconds()}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		s.emitSpan(rec)
 	}
 }
 

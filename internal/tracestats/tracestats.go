@@ -1,0 +1,466 @@
+// Package tracestats stitches bpomdp.span/v1 streams from every node of a
+// recovery fleet (and its clients) back into one causal timeline per
+// episode, then attributes each episode's wall-clock to where it actually
+// went: controller decisions, checkpoint fsyncs, redirect hops, retry
+// backoff, and the network in between.
+//
+// The stitching key is the episode's clientKey — every span of one recovery
+// carries it as TraceID, whichever process emitted it. Files from any number
+// of nodes can be concatenated in any order; spans are re-sorted by their
+// wall-clock anchors (the in-process chaos fleet shares one clock; real
+// deployments need NTP-close nodes).
+package tracestats
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"bpomdp/internal/obs"
+)
+
+// Load reads and concatenates span files from any number of nodes.
+func Load(paths ...string) ([]obs.SpanRecord, error) {
+	var all []obs.SpanRecord
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		spans, err := obs.DecodeSpans(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, spans...)
+	}
+	return all, nil
+}
+
+// Buckets attributes an episode's wall-clock. The client/network/server
+// split is exact by construction: ClientNanos and NetworkNanos are residuals
+// of enclosing spans, so for a fully-stitched episode
+//
+//	Wall = Client + RetryBackoff + Network
+//	     + Decide + Observe + Start + OtherServer
+//	     + Checkpoint + Adopt + Redirect
+//
+// holds to the nanosecond. A shortfall means spans were lost (severed
+// streams, clock skew); an excess means double-counted overlap. Background
+// is server work outside any client call — eager adoption after a kill,
+// tombstone replication, handler time on severed requests — and is excluded
+// from the identity.
+type Buckets struct {
+	// Server handler self-time (inner checkpoint/adopt spans subtracted),
+	// split by handler.
+	DecideNanos      int64 `json:"decideNanos"`
+	ObserveNanos     int64 `json:"observeNanos"`
+	StartNanos       int64 `json:"startNanos"`
+	OtherServerNanos int64 `json:"otherServerNanos"`
+
+	// CheckpointNanos is durable-store write time (fsync); AdoptNanos is
+	// episode/tombstone adoption minus its nested checkpoints;
+	// RedirectNanos is time spent answering 307 hops.
+	CheckpointNanos int64 `json:"checkpointNanos"`
+	AdoptNanos      int64 `json:"adoptNanos"`
+	RedirectNanos   int64 `json:"redirectNanos"`
+
+	// RetryBackoffNanos is client sleep between attempts; NetworkNanos is
+	// attempt time not accounted to any server handler; ClientNanos is
+	// call time outside every attempt (marshaling, local bookkeeping).
+	RetryBackoffNanos int64 `json:"retryBackoffNanos"`
+	NetworkNanos      int64 `json:"networkNanos"`
+	ClientNanos       int64 `json:"clientNanos"`
+
+	BackgroundNanos int64 `json:"backgroundNanos"`
+}
+
+// AccountedNanos sums every bucket inside the wall-clock identity
+// (Background excluded).
+func (b Buckets) AccountedNanos() int64 {
+	return b.DecideNanos + b.ObserveNanos + b.StartNanos + b.OtherServerNanos +
+		b.CheckpointNanos + b.AdoptNanos + b.RedirectNanos +
+		b.RetryBackoffNanos + b.NetworkNanos + b.ClientNanos
+}
+
+// Timeline is one episode's stitched cross-node story.
+type Timeline struct {
+	TraceID string `json:"traceId"`
+	// Episode is the server-assigned id (0 if only client spans were seen).
+	Episode uint64 `json:"episode,omitempty"`
+	// Spans is every span of the trace, time-sorted.
+	Spans []obs.SpanRecord `json:"spans"`
+	// Nodes lists the server nodes that touched the episode, in first-touch
+	// order.
+	Nodes []string `json:"nodes"`
+	// Hops counts node changes along the time-sorted server spans; a
+	// single-owner episode has 0.
+	Hops      int `json:"hops"`
+	Redirects int `json:"redirects"`
+	Failovers int `json:"failovers"`
+
+	// WallNanos is the episode's client-observed wall-clock: the sum of its
+	// client.call spans, or the stitched extent when no client spans exist.
+	WallNanos int64   `json:"wallNanos"`
+	Buckets   Buckets `json:"buckets"`
+
+	// Orphans lists causal edges that point at missing spans: a redirect
+	// whose target node never shows the episode, an adoption whose source
+	// node has no prior span, a successful replication with no matching
+	// accept. Empty means the timeline is causally connected.
+	Orphans []string `json:"orphans,omitempty"`
+}
+
+// contains reports whether inner lies entirely within outer.
+func contains(outer, inner *obs.SpanRecord) bool {
+	return outer.Start <= inner.Start && inner.End() <= outer.End()
+}
+
+// handlerKind reports a server span that times one HTTP handler.
+func handlerKind(kind string) bool {
+	switch kind {
+	case obs.SpanServerStart, obs.SpanServerStatus, obs.SpanServerDecide,
+		obs.SpanServerObserve, obs.SpanServerBelief, obs.SpanServerDelete,
+		obs.SpanServerAccept:
+		return true
+	}
+	return false
+}
+
+// Stitch groups spans by trace and builds one Timeline per episode, ordered
+// by first activity.
+func Stitch(spans []obs.SpanRecord) []*Timeline {
+	byTrace := make(map[string][]obs.SpanRecord)
+	var order []string
+	for _, sp := range spans {
+		if _, seen := byTrace[sp.TraceID]; !seen {
+			order = append(order, sp.TraceID)
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	out := make([]*Timeline, 0, len(order))
+	for _, id := range order {
+		out = append(out, buildTimeline(id, byTrace[id]))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Spans[0].Start < out[j].Spans[0].Start
+	})
+	return out
+}
+
+func buildTimeline(id string, spans []obs.SpanRecord) *Timeline {
+	// Sort by start; ties put the longer span first so parents precede
+	// children.
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Duration > spans[j].Duration
+	})
+	tl := &Timeline{TraceID: id, Spans: spans}
+
+	var calls, attempts, backoffs []*obs.SpanRecord
+	var handlers, inners, replicates []*obs.SpanRecord
+	lastNode := ""
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Episode > tl.Episode {
+			tl.Episode = sp.Episode
+		}
+		switch sp.Kind {
+		case obs.SpanClientCall:
+			calls = append(calls, sp)
+		case obs.SpanClientAttempt:
+			attempts = append(attempts, sp)
+		case obs.SpanClientBackoff:
+			backoffs = append(backoffs, sp)
+		case obs.SpanClientFailover:
+			tl.Failovers++
+		case obs.SpanServerCheckpoint, obs.SpanServerAdopt:
+			inners = append(inners, sp)
+		case obs.SpanServerReplicate:
+			replicates = append(replicates, sp)
+		default:
+			handlers = append(handlers, sp)
+			if sp.Status == 307 {
+				tl.Redirects++
+			}
+		}
+		if sp.Kind != obs.SpanClientCall && sp.Kind != obs.SpanClientAttempt &&
+			sp.Kind != obs.SpanClientBackoff && sp.Kind != obs.SpanClientFailover {
+			if !nodeSeen(tl.Nodes, sp.Node) {
+				tl.Nodes = append(tl.Nodes, sp.Node)
+			}
+			if lastNode != "" && sp.Node != lastNode {
+				tl.Hops++
+			}
+			lastNode = sp.Node
+		}
+	}
+
+	tl.attribute(calls, attempts, backoffs, handlers, inners, replicates)
+	tl.findOrphans(handlers, inners, replicates)
+	return tl
+}
+
+func nodeSeen(nodes []string, n string) bool {
+	for _, have := range nodes {
+		if have == n {
+			return true
+		}
+	}
+	return false
+}
+
+// attribute fills WallNanos and Buckets; see the Buckets doc for the
+// wall-clock identity the residual computation guarantees.
+func (tl *Timeline) attribute(calls, attempts, backoffs, handlers, inners, replicates []*obs.SpanRecord) {
+	b := &tl.Buckets
+
+	var sumCalls, sumAttempts int64
+	for _, sp := range calls {
+		sumCalls += sp.Duration
+	}
+	for _, sp := range attempts {
+		sumAttempts += sp.Duration
+	}
+	for _, sp := range backoffs {
+		b.RetryBackoffNanos += sp.Duration
+	}
+
+	// A handler span is inside the identity only when some client attempt
+	// interval contains it; handler time on severed requests (the client
+	// gave up, or never called — pure server-side traffic) is Background.
+	// With no client spans at all this is a server-only view: count every
+	// handler and fall back to the stitched extent for the wall.
+	serverOnly := len(calls) == 0 && len(attempts) == 0
+	contained := make(map[*obs.SpanRecord]bool, len(handlers))
+	var sumContained int64
+	for _, h := range handlers {
+		ok := serverOnly
+		for _, at := range attempts {
+			if contains(at, h) {
+				ok = true
+				break
+			}
+		}
+		contained[h] = ok
+		if ok {
+			sumContained += h.Duration
+		}
+	}
+
+	// Inner spans (checkpoint fsyncs, adoptions) nest: an adoption persists
+	// via the checkpointer, so its span contains a checkpoint span. Self-time
+	// everywhere: each span's duration minus its direct children, so nothing
+	// is double-counted.
+	parentInner := make(map[*obs.SpanRecord]*obs.SpanRecord, len(inners))
+	childSum := make(map[*obs.SpanRecord]int64, len(inners))
+	for _, in := range inners {
+		var parent *obs.SpanRecord
+		for _, cand := range inners {
+			if cand == in || cand.Node != in.Node || !contains(cand, in) {
+				continue
+			}
+			if parent == nil || cand.Duration < parent.Duration {
+				parent = cand
+			}
+		}
+		if parent != nil {
+			parentInner[in] = parent
+			childSum[parent] += in.Duration
+		}
+	}
+	// ownerHandler maps each top-level inner span to the handler whose time
+	// it should be carved out of.
+	ownerHandler := make(map[*obs.SpanRecord]*obs.SpanRecord, len(inners))
+	handlerInnerSum := make(map[*obs.SpanRecord]int64, len(handlers))
+	for _, in := range inners {
+		if parentInner[in] != nil {
+			continue
+		}
+		for _, h := range handlers {
+			if h.Node == in.Node && contains(h, in) {
+				ownerHandler[in] = h
+				handlerInnerSum[h] += in.Duration
+				break
+			}
+		}
+	}
+	for _, in := range inners {
+		// The handler context of an inner span is its own, or its parent's.
+		top := in
+		if p := parentInner[in]; p != nil {
+			top = p
+		}
+		owner := ownerHandler[top]
+		self := in.Duration - childSum[in]
+		switch {
+		case owner != nil && contained[owner]:
+			if in.Kind == obs.SpanServerCheckpoint {
+				b.CheckpointNanos += self
+			} else {
+				b.AdoptNanos += self
+			}
+		case owner != nil:
+			// Covered by the handler's Background accounting below.
+		default:
+			// No handler at all: eager adoption during member-down
+			// processing, and its nested persists.
+			b.BackgroundNanos += self
+		}
+	}
+
+	for _, h := range handlers {
+		if !contained[h] {
+			b.BackgroundNanos += h.Duration
+			continue
+		}
+		self := h.Duration - handlerInnerSum[h]
+		switch {
+		case h.Status == 307:
+			b.RedirectNanos += self
+		case h.Kind == obs.SpanServerDecide:
+			b.DecideNanos += self
+		case h.Kind == obs.SpanServerObserve:
+			b.ObserveNanos += self
+		case h.Kind == obs.SpanServerStart:
+			b.StartNanos += self
+		default:
+			b.OtherServerNanos += self
+		}
+	}
+	for _, r := range replicates {
+		b.BackgroundNanos += r.Duration
+	}
+
+	if serverOnly {
+		first, last := tl.Spans[0].Start, int64(0)
+		for i := range tl.Spans {
+			if end := tl.Spans[i].End(); end > last {
+				last = end
+			}
+		}
+		tl.WallNanos = last - first
+		return
+	}
+	tl.WallNanos = sumCalls
+	b.NetworkNanos = sumAttempts - sumContained
+	b.ClientNanos = sumCalls - sumAttempts - b.RetryBackoffNanos
+}
+
+// findOrphans checks every cross-node causal edge for its far end.
+func (tl *Timeline) findOrphans(handlers, inners, replicates []*obs.SpanRecord) {
+	spanOn := func(node string, test func(*obs.SpanRecord) bool) bool {
+		for i := range tl.Spans {
+			sp := &tl.Spans[i]
+			if sp.Node == node && test(sp) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, h := range handlers {
+		if h.Status != 307 || h.Target == "" {
+			continue
+		}
+		// A redirect must be followed by the episode showing up on the
+		// member it pointed at.
+		if !spanOn(h.Target, func(sp *obs.SpanRecord) bool { return sp.Start >= h.Start }) {
+			tl.Orphans = append(tl.Orphans,
+				fmt.Sprintf("redirect on %s to %s has no later span on %s", h.Node, h.Target, h.Target))
+		}
+	}
+	for _, in := range inners {
+		if in.Kind != obs.SpanServerAdopt || in.Source == "" {
+			continue
+		}
+		// An adoption pulls state the source must have written earlier.
+		if !spanOn(in.Source, func(sp *obs.SpanRecord) bool { return sp.Start <= in.End() }) {
+			tl.Orphans = append(tl.Orphans,
+				fmt.Sprintf("adoption on %s from %s has no earlier span on %s", in.Node, in.Source, in.Source))
+		}
+	}
+	for _, r := range replicates {
+		if r.Err != "" || r.Target == "" {
+			continue
+		}
+		// A successful replication must have landed as an accept on the
+		// successor.
+		if !spanOn(r.Target, func(sp *obs.SpanRecord) bool { return sp.Kind == obs.SpanServerAccept }) {
+			tl.Orphans = append(tl.Orphans,
+				fmt.Sprintf("replication on %s to %s has no accept span on %s", r.Node, r.Target, r.Target))
+		}
+	}
+}
+
+// Summary aggregates a batch of timelines.
+type Summary struct {
+	Episodes int `json:"episodes"`
+	Spans    int `json:"spans"`
+	// Orphans counts broken causal edges across every episode.
+	Orphans int `json:"orphans"`
+	// CrossNode counts episodes whose spans touch more than one server node.
+	CrossNode int `json:"crossNode"`
+
+	// Wall-clock tail across episodes, in nanoseconds.
+	WallP50Nanos int64 `json:"wallP50Nanos"`
+	WallP95Nanos int64 `json:"wallP95Nanos"`
+	WallP99Nanos int64 `json:"wallP99Nanos"`
+	WallMaxNanos int64 `json:"wallMaxNanos"`
+
+	// TotalWallNanos and Totals sum the per-episode walls and buckets.
+	TotalWallNanos int64   `json:"totalWallNanos"`
+	Totals         Buckets `json:"totals"`
+}
+
+// Summarize aggregates timelines into fleet-level statistics.
+func Summarize(tls []*Timeline) Summary {
+	var s Summary
+	s.Episodes = len(tls)
+	walls := make([]int64, 0, len(tls))
+	for _, tl := range tls {
+		s.Spans += len(tl.Spans)
+		s.Orphans += len(tl.Orphans)
+		if len(tl.Nodes) > 1 {
+			s.CrossNode++
+		}
+		walls = append(walls, tl.WallNanos)
+		s.TotalWallNanos += tl.WallNanos
+		b, t := tl.Buckets, &s.Totals
+		t.DecideNanos += b.DecideNanos
+		t.ObserveNanos += b.ObserveNanos
+		t.StartNanos += b.StartNanos
+		t.OtherServerNanos += b.OtherServerNanos
+		t.CheckpointNanos += b.CheckpointNanos
+		t.AdoptNanos += b.AdoptNanos
+		t.RedirectNanos += b.RedirectNanos
+		t.RetryBackoffNanos += b.RetryBackoffNanos
+		t.NetworkNanos += b.NetworkNanos
+		t.ClientNanos += b.ClientNanos
+		t.BackgroundNanos += b.BackgroundNanos
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	s.WallP50Nanos = percentile(walls, 0.50)
+	s.WallP95Nanos = percentile(walls, 0.95)
+	s.WallP99Nanos = percentile(walls, 0.99)
+	if n := len(walls); n > 0 {
+		s.WallMaxNanos = walls[n-1]
+	}
+	return s
+}
+
+// percentile reads the nearest-rank percentile from an ascending slice.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

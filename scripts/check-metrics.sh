@@ -1,0 +1,39 @@
+#!/bin/sh
+# check-metrics.sh — assert that every metric family registered anywhere in
+# the codebase is mentioned in README.md, so the metrics reference cannot
+# silently drift from the binaries.
+#
+# Family names are harvested from source, not from a live /metrics scrape,
+# so the check needs no build step: every family in this repo is registered
+# as reg.Counter("recoverd_...") / metrics.GaugeFunc("recoverd_...") etc.
+# with a literal name. Test files are excluded — test-only registries are
+# not part of the exported surface. The README match is boundary-safe:
+# recoverd_episodes_open in prose does NOT satisfy a registration of
+# recoverd_episodes_opened because the character on each side of the
+# candidate must not extend the family name.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+families=$(find internal cmd -name '*.go' ! -name '*_test.go' -print0 |
+	xargs -0 grep -hoE '\.(Counter|CounterFunc|Gauge|GaugeFunc|Histogram)\("recoverd_[a-z_]+"' |
+	sed 's/.*("//; s/"$//' | sort -u)
+
+if [ -z "$families" ]; then
+	echo "check-metrics: harvested no metric families; the grep pattern is stale" >&2
+	exit 1
+fi
+
+fail=0
+for m in $families; do
+	if ! grep -qE "(^|[^A-Za-z0-9_])$m([^A-Za-z0-9_]|\$)" README.md; then
+		echo "README.md: missing metric family $m" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "check-metrics: FAIL" >&2
+	exit 1
+fi
+echo "check-metrics: OK ($(echo "$families" | wc -l | tr -d ' ') families)"
